@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing the paper's figures (see DESIGN.md §2)."""

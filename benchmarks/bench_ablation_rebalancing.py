@@ -1,0 +1,108 @@
+"""Ablation B: the cost and the necessity of minor/major rebalancing.
+
+Rebalancing is what makes the update bound *amortized* (Section 6.2).  This
+ablation drives a skew-shifting stream (one join key goes light → heavy →
+light) and a growth stream (the database doubles several times) through the
+engine with rebalancing enabled and disabled, comparing total maintenance
+time and the partition state at the end.  With rebalancing disabled the
+results stay correct (the view trees are still equivalent) but the partitions
+drift away from the thresholds, which is exactly the degradation the paper's
+amortization argument pays for.
+"""
+
+import time
+
+import pytest
+
+from repro import DynamicEngine
+from repro.data.database import Database
+from repro.workloads import growth_stream, skew_shift_stream
+from benchmarks.conftest import scaled
+
+QUERY = "Q(A, C) = R(A, B), S(B, C)"
+
+
+def stable_database(size):
+    return Database.from_dict(
+        {
+            "R": (("A", "B"), [(a, a % (size // 4 or 1)) for a in range(size)]),
+            "S": (("B", "C"), [(b % (size // 4 or 1), b) for b in range(size)]),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def rebalancing_rows(figure_report):
+    size = scaled(600)
+    rows = []
+    for enabled in (True, False):
+        database = stable_database(size)
+        engine = DynamicEngine(QUERY, epsilon=0.5, enable_rebalancing=enabled)
+        engine.load(database)
+        stream = skew_shift_stream("R", 2, scaled(400), hot_key=0, seed=151)
+        started = time.perf_counter()
+        engine.apply_stream(stream)
+        elapsed = time.perf_counter() - started
+        stats = engine.rebalance_stats.as_dict()
+        violations = 0
+        for partition in engine._skew_plan.partitions:
+            try:
+                partition.check_loose(engine.threshold)
+            except Exception:
+                violations += 1
+        rows.append(
+            {
+                "scenario": "skew shift",
+                "rebalancing": "on" if enabled else "off",
+                "updates": stats["updates"],
+                "minor_rebalances": stats["minor_rebalances"],
+                "major_rebalances": stats["major_rebalances"],
+                "total_update_s": elapsed,
+                "partition_violations": violations,
+            }
+        )
+    for enabled in (True, False):
+        database = Database.from_dict({"R": (("A", "B"), []), "S": (("B", "C"), [])})
+        engine = DynamicEngine(QUERY, epsilon=0.5, enable_rebalancing=enabled)
+        engine.load(database)
+        stream = growth_stream("R", 2, scaled(500), domain=scaled(500), seed=152)
+        started = time.perf_counter()
+        engine.apply_stream(stream)
+        elapsed = time.perf_counter() - started
+        stats = engine.rebalance_stats.as_dict()
+        rows.append(
+            {
+                "scenario": "growth from empty",
+                "rebalancing": "on" if enabled else "off",
+                "updates": stats["updates"],
+                "minor_rebalances": stats["minor_rebalances"],
+                "major_rebalances": stats["major_rebalances"],
+                "total_update_s": elapsed,
+                "partition_violations": 0,
+            }
+        )
+    figure_report.record("Ablation B: rebalancing on vs off", rows)
+    return rows
+
+
+def test_ablation_rebalancing_keeps_invariants(rebalancing_rows, benchmark):
+    benchmark(lambda: None)
+    on_rows = [r for r in rebalancing_rows if r["rebalancing"] == "on"]
+    assert all(row["partition_violations"] == 0 for row in on_rows)
+    skew_on = next(r for r in on_rows if r["scenario"] == "skew shift")
+    assert skew_on["minor_rebalances"] > 0
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+def test_ablation_rebalancing_update_cost(benchmark, enabled):
+    database = stable_database(scaled(400))
+    engine = DynamicEngine(QUERY, epsilon=0.5, enable_rebalancing=enabled)
+    engine.load(database)
+    stream = list(skew_shift_stream("R", 2, 100000, hot_key=0, seed=153))
+    counter = {"i": 0}
+
+    def one_update():
+        engine.apply(stream[counter["i"] % len(stream)])
+        counter["i"] += 1
+
+    benchmark(one_update)

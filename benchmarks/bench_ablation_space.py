@@ -1,0 +1,61 @@
+"""Ablation A: the space/enumeration trade-off behind the ε knob.
+
+The paper's trade-off buys lower delay with more materialized state (the
+"extra space" column of Figures 4 and 5).  This ablation measures, for a
+skewed and a uniform workload, how the total number of materialized view
+tuples and the enumeration delay move as ε sweeps from 0 to 1 — isolating
+the role of the heavy/light split: on uniform data everything is light and
+the curves flatten; on skewed data the heavy keys keep the ε = 1 state from
+exploding relative to eager full materialization.
+"""
+
+import pytest
+
+from repro import StaticEngine
+from repro.baselines import FullMaterializationEngine
+from repro.bench import measure_enumeration_delay
+from repro.workloads import path_query_database
+from benchmarks.conftest import scaled
+
+QUERY = "Q(A, C) = R(A, B), S(B, C)"
+SIZE = scaled(1200)
+EPSILONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+@pytest.fixture(scope="module")
+def space_rows(figure_report):
+    rows = []
+    for label, skew in (("skewed (zipf 1.3)", 1.3), ("uniform", 0.0)):
+        database = path_query_database(SIZE, skew=skew, seed=141)
+        full = FullMaterializationEngine(QUERY).load(database)
+        for epsilon in EPSILONS:
+            engine = StaticEngine(QUERY, epsilon=epsilon).load(database)
+            delay, _ = measure_enumeration_delay(engine, limit=1200)
+            rows.append(
+                {
+                    "workload": label,
+                    "epsilon": epsilon,
+                    "N": database.size,
+                    "view_tuples": engine.view_size(),
+                    "full_result_tuples": full.materialized_size(),
+                    "delay_max_s": delay.maximum,
+                    "preprocess_s": engine.preprocessing_seconds,
+                }
+            )
+    figure_report.record(
+        "Ablation A: materialized state vs enumeration delay across epsilon", rows
+    )
+    return rows
+
+
+def test_ablation_space_monotone_in_epsilon(space_rows, benchmark):
+    benchmark(lambda: None)
+    for label in {row["workload"] for row in space_rows}:
+        series = [row for row in space_rows if row["workload"] == label]
+        assert series[0]["view_tuples"] <= series[-1]["view_tuples"]
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 1.0])
+def test_ablation_space_preprocessing(benchmark, epsilon):
+    database = path_query_database(scaled(700), skew=1.3, seed=142)
+    benchmark(lambda: StaticEngine(QUERY, epsilon=epsilon).load(database))

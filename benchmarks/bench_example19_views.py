@@ -1,0 +1,60 @@
+"""Examples 19 / 24: the four-atom query with two levels of partitioning.
+
+``Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)`` has static
+width 3 and dynamic width 3: preprocessing is O(N^{1+2ε}) and updates are
+O(N^{3ε}) (Example 24).  The benchmark measures preprocessing, update, and
+delay on skewed data for the ε corners and checks the structural facts of
+Figure 12 (three strategy trees, indicators on A and on (A, B)).
+"""
+
+import pytest
+
+from repro import DynamicEngine
+from repro.bench import measure_enumeration_delay, measure_update_stream
+from repro.workloads import example19_database, mixed_stream
+from benchmarks.conftest import make_update_cycler, scaled
+
+QUERY = "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)"
+SIZE = scaled(350)
+EPSILONS = [0.0, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module")
+def example19_rows(figure_report):
+    database = example19_database(SIZE, skew=1.1, seed=111)
+    rows = []
+    for epsilon in EPSILONS:
+        engine = DynamicEngine(QUERY, epsilon=epsilon).load(database)
+        updates = mixed_stream(database, 80, seed=112, domain=SIZE)
+        update_measurement = measure_update_stream(engine, updates)
+        delay, _ = measure_enumeration_delay(engine, limit=600)
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "N": database.size,
+                "w": engine.static_width,
+                "delta": engine.dynamic_width,
+                "strategy_trees": len(engine._skew_plan.all_trees()),
+                "indicators": len(engine._skew_plan.indicator_triples),
+                "preprocess_s": engine.preprocessing_seconds,
+                "update_mean_s": update_measurement.mean,
+                "delay_max_s": delay.maximum,
+            }
+        )
+    figure_report.record("Example 19 / Figure 12: the four-atom query", rows)
+    return rows
+
+
+def test_example19_structure(example19_rows, benchmark):
+    benchmark(lambda: None)
+    row = example19_rows[0]
+    assert row["strategy_trees"] == 3
+    assert row["indicators"] == 2
+    assert row["w"] == 3 and row["delta"] == 3
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_example19_update(benchmark, epsilon, example19_rows):
+    database = example19_database(scaled(250), skew=1.1, seed=113)
+    engine = DynamicEngine(QUERY, epsilon=epsilon).load(database)
+    benchmark(make_update_cycler(engine, "R", 3, database.size, seed=114))

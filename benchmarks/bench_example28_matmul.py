@@ -1,0 +1,79 @@
+"""Example 28: matrix multiplication through ``Q(A, C) = R(A, B), S(B, C)``.
+
+With ε = ½ the paper promises O(N^{3/2}) preprocessing and O(N^{1/2}) delay
+(N = n² for n × n matrices).  The benchmark verifies the enumerated support
+against numpy at two matrix sizes, records the preprocessing/delay scaling,
+and times enumeration at the ε corners.
+"""
+
+import pytest
+
+from repro import StaticEngine
+from repro.bench import fit_exponent, measure_enumeration_delay
+from repro.workloads import expected_product_support, matmul_database
+from benchmarks.conftest import scaled
+
+QUERY = "Q(A, C) = R(A, B), S(B, C)"
+MATRIX_SIZES = [scaled(32), scaled(64)]
+
+
+@pytest.fixture(scope="module")
+def matmul_rows(figure_report):
+    rows = []
+    for n in MATRIX_SIZES:
+        database, left, right = matmul_database(n, density=0.15, seed=121)
+        for epsilon in (0.0, 0.5, 1.0):
+            engine = StaticEngine(QUERY, epsilon=epsilon).load(database)
+            assert set(engine.result()) == expected_product_support(left, right)
+            delay, produced = measure_enumeration_delay(engine, limit=2500)
+            rows.append(
+                {
+                    "n": n,
+                    "N": database.size,
+                    "epsilon": epsilon,
+                    "preprocess_s": engine.preprocessing_seconds,
+                    "delay_mean_s": delay.mean,
+                    "delay_max_s": delay.maximum,
+                    "output_tuples": produced,
+                }
+            )
+    # scaling of preprocessing at eps = 0.5 across the two sizes
+    eps_half = [row for row in rows if row["epsilon"] == 0.5]
+    fit = fit_exponent([row["N"] for row in eps_half], [row["preprocess_s"] for row in eps_half])
+    rows.append(
+        {
+            "n": "fit",
+            "N": "-",
+            "epsilon": 0.5,
+            "preprocess_s": fit.exponent,
+            "delay_mean_s": 1.5,
+            "delay_max_s": 0.0,
+            "output_tuples": 0,
+        }
+    )
+    figure_report.record(
+        "Example 28: Boolean matrix multiplication (last row: fitted vs 1.5 exponent)",
+        rows,
+    )
+    return rows
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+def test_example28_enumeration(benchmark, epsilon, matmul_rows):
+    database, left, right = matmul_database(MATRIX_SIZES[0], density=0.15, seed=122)
+    engine = StaticEngine(QUERY, epsilon=epsilon).load(database)
+
+    def enumerate_some():
+        count = 0
+        for _ in engine.enumerate():
+            count += 1
+            if count >= 400:
+                break
+        return count
+
+    benchmark(enumerate_some)
+
+
+def test_example28_preprocessing_eps_half(benchmark):
+    database, _left, _right = matmul_database(MATRIX_SIZES[0], density=0.15, seed=123)
+    benchmark(lambda: StaticEngine(QUERY, epsilon=0.5).load(database))

@@ -1,0 +1,85 @@
+"""Example 29: the free-connex δ₁-hierarchical query ``Q(A) = R(A, B), S(B)``.
+
+Static width 1 means preprocessing stays linear for every ε; the dynamic
+width 1 means updates cost O(N^ε) while the delay is O(N^{1−ε}).  The
+benchmark sweeps ε and also exercises the query whose updates hit the
+smaller unary relation (the paper's Figure 24 discussion).
+"""
+
+import pytest
+
+from repro import DynamicEngine, Update
+from repro.bench import measure_enumeration_delay, measure_update_stream
+from repro.workloads import zipf_pairs, zipf_values
+from repro.data.database import Database
+from benchmarks.conftest import scaled
+
+QUERY = "Q(A) = R(A, B), S(B)"
+SIZE = scaled(1500)
+EPSILONS = [0.0, 0.5, 1.0]
+
+
+def make_database(size, seed=131):
+    domain = max(4, size // 3)
+    r = zipf_pairs(size, domain, domain, exponent=1.2, seed=seed, key_position=1)
+    s = [(b,) for b in zipf_values(size // 2, domain, 0.8, seed + 1)]
+    return Database.from_dict({"R": (("A", "B"), r), "S": (("B",), s)})
+
+
+@pytest.fixture(scope="module")
+def example29_rows(figure_report):
+    database = make_database(SIZE)
+    domain = max(4, SIZE // 3)
+    rows = []
+    for epsilon in EPSILONS:
+        engine = DynamicEngine(QUERY, epsilon=epsilon).load(database)
+        updates = [
+            Update("S", (b,), 1) for b in zipf_values(150, domain, 1.0, seed=132)
+        ]
+        update_measurement = measure_update_stream(engine, updates)
+        delay, _ = measure_enumeration_delay(engine, limit=1500)
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "N": database.size,
+                "w": engine.static_width,
+                "delta": engine.dynamic_width,
+                "preprocess_s": engine.preprocessing_seconds,
+                "update_mean_s": update_measurement.mean,
+                "delay_max_s": delay.maximum,
+                "view_tuples": engine.view_size(),
+            }
+        )
+    figure_report.record("Example 29 / Figure 24: Q(A) = R(A, B), S(B)", rows)
+    return rows
+
+
+def test_example29_width_is_one(example29_rows, benchmark):
+    benchmark(lambda: None)
+    assert all(row["w"] == 1 for row in example29_rows)
+    assert all(row["delta"] == 1 for row in example29_rows)
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_example29_update_to_unary_relation(benchmark, epsilon, example29_rows):
+    database = make_database(scaled(800), seed=133)
+    domain = max(4, scaled(800) // 3)
+    engine = DynamicEngine(QUERY, epsilon=epsilon).load(database)
+    keys = zipf_values(2000, domain, 1.0, seed=134)
+    counter = {"i": 0}
+    inserted = []
+
+    def one_update():
+        index = counter["i"]
+        counter["i"] += 1
+        # alternate inserts with deletes of previously inserted tuples so the
+        # database size stays stable across benchmark rounds
+        if inserted and index % 2 == 1:
+            key = inserted.pop()
+            engine.update("S", (key,), -1)
+        else:
+            key = keys[index % len(keys)]
+            inserted.append(key)
+            engine.update("S", (key,), 1)
+
+    benchmark(one_update)

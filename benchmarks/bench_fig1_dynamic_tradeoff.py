@@ -1,0 +1,51 @@
+"""Figure 1 (right): the dynamic preprocessing/update/delay trade-off surface.
+
+One row per ε for the δ₁-hierarchical query ``Q(A, C) = R(A, B), S(B, C)``
+in dynamic mode, measuring all three components on the same Zipf workload
+and update stream.
+"""
+
+import pytest
+
+from repro import DynamicEngine
+from repro.bench import sweep_epsilon
+from repro.workloads import mixed_stream, path_query_database
+from benchmarks.conftest import make_update_cycler, scaled
+
+QUERY = "Q(A, C) = R(A, B), S(B, C)"
+EPSILONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+SIZE = scaled(1200)
+
+
+@pytest.fixture(scope="module")
+def dynamic_tradeoff_rows(figure_report):
+    database = path_query_database(SIZE, skew=1.1, seed=61)
+    points = sweep_epsilon(
+        QUERY,
+        database,
+        EPSILONS,
+        mode="dynamic",
+        updates_factory=lambda: mixed_stream(database, 200, seed=62, domain=SIZE),
+        delay_limit=1200,
+    )
+    rows = [point.as_row() for point in points]
+    figure_report.record(
+        "Figure 1 (right): dynamic preprocessing/update/delay trade-off", rows
+    )
+    return rows
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+def test_fig1_dynamic_update(benchmark, epsilon, dynamic_tradeoff_rows):
+    database = path_query_database(scaled(800), skew=1.1, seed=63)
+    engine = DynamicEngine(QUERY, epsilon=epsilon).load(database)
+    benchmark(make_update_cycler(engine, "R", 2, database.size, seed=64))
+
+
+def test_fig1_dynamic_shape(dynamic_tradeoff_rows, benchmark):
+    """The measured surface keeps the paper's qualitative shape."""
+    by_eps = {row["epsilon"]: row for row in dynamic_tradeoff_rows}
+    benchmark(lambda: None)
+    # delay at ε=1 should not exceed delay at ε=0 (it shrinks with ε), and the
+    # materialized state grows with ε.
+    assert by_eps[1.0]["view_tuples"] >= by_eps[0.0]["view_tuples"]

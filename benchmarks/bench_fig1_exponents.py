@@ -1,0 +1,98 @@
+"""Figure 1 (left): runtime exponents as functions of ε.
+
+For the δ₁-hierarchical query ``Q(A, C) = R(A, B), S(B, C)`` (w = 2, δ = 1)
+the paper promises, as functions of ε: preprocessing exponent ``1 + ε``,
+amortized update exponent ``ε``, enumeration delay exponent ``1 − ε``.
+The module runs the workload at several database sizes for ε ∈ {0, ½, 1},
+fits the measured exponents, and tabulates them against the theory; the
+pytest-benchmark entries time the three runtime components at the middle
+point ε = ½.
+"""
+
+import pytest
+
+from repro import HierarchicalEngine
+from repro.bench import scaling_experiment
+from repro.workloads import mixed_stream, path_query_database
+from benchmarks.conftest import make_update_cycler, scaled
+
+QUERY = "Q(A, C) = R(A, B), S(B, C)"
+SIZES = [scaled(300), scaled(600), scaled(1200)]
+EPSILONS = [0.0, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module")
+def exponent_rows(figure_report):
+    rows = []
+    for epsilon in EPSILONS:
+        outcome = scaling_experiment(
+            QUERY,
+            lambda size: path_query_database(size, skew=1.1, seed=41),
+            sizes=SIZES,
+            epsilon=epsilon,
+            updates_factory=lambda db, size: mixed_stream(db, 120, seed=42, domain=size),
+            delay_limit=1200,
+        )
+        fits, theory = outcome["fits"], outcome["theory"]
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "preproc_exp_fit": round(fits["preprocessing"].exponent, 2),
+                "preproc_exp_theory": theory["preprocessing"],
+                "update_exp_fit": round(fits["update"].exponent, 2),
+                "update_exp_theory": theory["update"],
+                "delay_exp_fit": round(fits["delay"].exponent, 2),
+                "delay_exp_theory": theory["delay"],
+            }
+        )
+    figure_report.record(
+        "Figure 1 (left): measured vs theoretical exponents, Q(A,C)=R(A,B),S(B,C)",
+        rows,
+    )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def loaded_engine():
+    database = path_query_database(SIZES[-1], skew=1.1, seed=41)
+    engine = HierarchicalEngine(QUERY, epsilon=0.5)
+    engine.load(database)
+    return engine, database
+
+
+def test_fig1_exponent_table(benchmark, exponent_rows):
+    """The figure table itself; the benchmarked unit is one full enumeration."""
+    database = path_query_database(scaled(300), skew=1.1, seed=41)
+    engine = HierarchicalEngine(QUERY, epsilon=0.5).load(database)
+    benchmark(lambda: sum(1 for _ in engine.enumerate()))
+    # the orderings promised by the theory must hold in the fitted exponents
+    by_eps = {row["epsilon"]: row for row in exponent_rows}
+    assert by_eps[1.0]["preproc_exp_theory"] > by_eps[0.0]["preproc_exp_theory"]
+
+
+def test_fig1_preprocessing_eps_half(benchmark):
+    database = path_query_database(scaled(600), skew=1.1, seed=43)
+
+    def preprocess():
+        HierarchicalEngine(QUERY, epsilon=0.5).load(database)
+
+    benchmark(preprocess)
+
+
+def test_fig1_update_eps_half(benchmark, loaded_engine):
+    engine, database = loaded_engine
+    benchmark(make_update_cycler(engine, "R", 2, database.size, seed=44))
+
+
+def test_fig1_enumeration_eps_half(benchmark, loaded_engine):
+    engine, _database = loaded_engine
+
+    def enumerate_some():
+        count = 0
+        for _ in engine.enumerate():
+            count += 1
+            if count >= 500:
+                break
+        return count
+
+    benchmark(enumerate_some)

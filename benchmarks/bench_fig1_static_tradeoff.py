@@ -1,0 +1,73 @@
+"""Figure 1 (middle): the static preprocessing/delay trade-off.
+
+One curve point per ε for the non-free-connex query ``Q(A, C) = R(A, B),
+S(B, C)`` (the blue segment of the figure), plus the single point achieved by
+free-connex queries (linear preprocessing, constant delay — here Example 18's
+query), which is where the prior-work points of the figure sit.
+"""
+
+import pytest
+
+from repro import StaticEngine
+from repro.bench import measure_enumeration_delay
+from repro.workloads import free_connex_database, path_query_database
+from benchmarks.conftest import scaled
+
+PATH_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+FREE_CONNEX_QUERY = "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)"
+EPSILONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+SIZE = scaled(1500)
+
+
+@pytest.fixture(scope="module")
+def static_tradeoff_rows(figure_report):
+    database = path_query_database(SIZE, skew=1.1, seed=51)
+    rows = []
+    for epsilon in EPSILONS:
+        engine = StaticEngine(PATH_QUERY, epsilon=epsilon)
+        engine.load(database)
+        delay, _ = measure_enumeration_delay(engine, limit=1500)
+        rows.append(
+            {
+                "query": "hierarchical (w=2)",
+                "epsilon": epsilon,
+                "N": database.size,
+                "preprocess_s": engine.preprocessing_seconds,
+                "view_tuples": engine.view_size(),
+                "delay_max_s": delay.maximum,
+                "delay_mean_s": delay.mean,
+            }
+        )
+    fc_database = free_connex_database(SIZE, seed=52)
+    fc_engine = StaticEngine(FREE_CONNEX_QUERY, epsilon=1.0)
+    fc_engine.load(fc_database)
+    fc_delay, _ = measure_enumeration_delay(fc_engine, limit=1500)
+    rows.append(
+        {
+            "query": "free-connex (w=1)",
+            "epsilon": 1.0,
+            "N": fc_database.size,
+            "preprocess_s": fc_engine.preprocessing_seconds,
+            "view_tuples": fc_engine.view_size(),
+            "delay_max_s": fc_delay.maximum,
+            "delay_mean_s": fc_delay.mean,
+        }
+    )
+    figure_report.record(
+        "Figure 1 (middle): static preprocessing/delay trade-off", rows
+    )
+    return rows
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+def test_fig1_static_preprocessing(benchmark, epsilon, static_tradeoff_rows):
+    database = path_query_database(scaled(700), skew=1.1, seed=53)
+    benchmark(lambda: StaticEngine(PATH_QUERY, epsilon=epsilon).load(database))
+    # trade-off shape: preprocessing grows with ε, delay shrinks with ε
+    hier = [r for r in static_tradeoff_rows if r["query"].startswith("hier")]
+    assert hier[0]["view_tuples"] <= hier[-1]["view_tuples"]
+
+
+def test_fig1_static_free_connex_preprocessing(benchmark):
+    database = free_connex_database(scaled(700), seed=54)
+    benchmark(lambda: StaticEngine(FREE_CONNEX_QUERY, epsilon=1.0).load(database))

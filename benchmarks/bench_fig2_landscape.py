@@ -1,0 +1,97 @@
+"""Figure 2: the landscape of static and dynamic evaluation across query classes.
+
+One representative query per class of the figure, all run through the same
+engine at the ε corner the paper associates with the class:
+
+* q-hierarchical  (w = 1, δ = 0)  → linear preprocessing, constant update & delay;
+* free-connex δ₁ (w = 1, δ = 1)  → linear preprocessing, constant delay,
+  sublinear updates at ε < 1;
+* general hierarchical (w = 2, δ = 1) → the ε trade-off;
+* δ₂ star query  (w = 3, δ = 2)  → the expensive end of the landscape.
+"""
+
+import pytest
+
+from repro import DynamicEngine
+from repro.bench import measure_enumeration_delay, measure_update_stream
+from repro.workloads import (
+    mixed_stream,
+    path_query_database,
+    star_query_database,
+)
+from benchmarks.conftest import make_update_cycler, scaled
+
+SIZE = scaled(900)
+
+LANDSCAPE = [
+    # (label, query, database factory, epsilon)
+    (
+        "q-hierarchical (w=1, d=0)",
+        "Q(A, B) = R(A, B), S(B, C)",
+        lambda: path_query_database(SIZE, skew=1.0, seed=71),
+        1.0,
+    ),
+    (
+        "free-connex d1 (w=1, d=1)",
+        "Q(A) = R(A, B), S(B, C)",
+        lambda: path_query_database(SIZE, skew=1.0, seed=72),
+        0.5,
+    ),
+    (
+        "hierarchical (w=2, d=1)",
+        "Q(A, C) = R(A, B), S(B, C)",
+        lambda: path_query_database(SIZE, skew=1.0, seed=73),
+        0.5,
+    ),
+    (
+        "star d2 (w=3, d=2)",
+        "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)",
+        lambda: star_query_database(SIZE // 3, branches=3, skew=1.0, seed=74),
+        0.5,
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def landscape_rows(figure_report):
+    rows = []
+    for label, query, database_factory, epsilon in LANDSCAPE:
+        database = database_factory()
+        engine = DynamicEngine(query, epsilon=epsilon)
+        engine.load(database)
+        updates = mixed_stream(database, 150, seed=75, domain=database.size)
+        update_measurement = measure_update_stream(engine, updates)
+        delay, _ = measure_enumeration_delay(engine, limit=1000)
+        rows.append(
+            {
+                "class": label,
+                "epsilon": epsilon,
+                "w": engine.static_width,
+                "delta": engine.dynamic_width,
+                "N": database.size,
+                "preprocess_s": engine.preprocessing_seconds,
+                "update_mean_s": update_measurement.mean,
+                "delay_max_s": delay.maximum,
+                "view_tuples": engine.view_size(),
+            }
+        )
+    figure_report.record("Figure 2: landscape of query classes", rows)
+    return rows
+
+
+@pytest.mark.parametrize("index", range(len(LANDSCAPE)))
+def test_fig2_update_per_class(benchmark, index, landscape_rows):
+    label, query, database_factory, epsilon = LANDSCAPE[index]
+    database = database_factory()
+    engine = DynamicEngine(query, epsilon=epsilon).load(database)
+    relation = engine.query.atoms[0].relation
+    arity = engine.query.atoms[0].arity
+    benchmark(make_update_cycler(engine, relation, arity, database.size, seed=76))
+
+
+def test_fig2_widths_match_landscape(landscape_rows, benchmark):
+    benchmark(lambda: None)
+    by_class = {row["class"]: row for row in landscape_rows}
+    assert by_class["q-hierarchical (w=1, d=0)"]["delta"] == 0
+    assert by_class["hierarchical (w=2, d=1)"]["w"] == 2
+    assert by_class["star d2 (w=3, d=2)"]["delta"] == 2

@@ -1,0 +1,83 @@
+"""Figure 3: the update/delay trade-off for δ₁-hierarchical queries.
+
+The paper shows that for δ₁-hierarchical queries (here Example 28's
+``Q(A, C) = R(A, B), S(B, C)`` and Example 29's ``Q(A) = R(A, B), S(B)``)
+no algorithm can achieve both O(N^{1/2−γ}) update time and delay (unless OMv
+fails), and that ε = ½ attains the weakly Pareto-optimal O(N^{1/2}) /
+O(N^{1/2}) point.  The module measures update time and delay along the ε
+sweep and runs the OMv-style round workload of Proposition 10.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DynamicEngine
+from repro.bench import measure_enumeration_delay, measure_update_stream
+from repro.workloads import (
+    mixed_stream,
+    omv_matrix_database,
+    omv_vector_rounds,
+    path_query_database,
+)
+from benchmarks.conftest import scaled
+
+PATH_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+SEMIJOIN_QUERY = "Q(A) = R(A, B), S(B)"
+EPSILONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+SIZE = scaled(1200)
+
+
+@pytest.fixture(scope="module")
+def pareto_rows(figure_report):
+    database = path_query_database(SIZE, skew=1.2, seed=81)
+    rows = []
+    for epsilon in EPSILONS:
+        engine = DynamicEngine(PATH_QUERY, epsilon=epsilon).load(database)
+        update_measurement = measure_update_stream(
+            engine, mixed_stream(database, 200, seed=82, domain=SIZE)
+        )
+        delay, _ = measure_enumeration_delay(engine, limit=1200)
+        rows.append(
+            {
+                "query": PATH_QUERY,
+                "epsilon": epsilon,
+                "expected_update_exp": engine.expected_exponents()["update"],
+                "expected_delay_exp": engine.expected_exponents()["delay"],
+                "update_mean_s": update_measurement.mean,
+                "delay_max_s": delay.maximum,
+                "preprocess_s": engine.preprocessing_seconds,
+            }
+        )
+    figure_report.record(
+        "Figure 3: update/delay trade-off for delta_1-hierarchical queries", rows
+    )
+    return rows
+
+
+def test_fig3_pareto_shape(pareto_rows, benchmark):
+    benchmark(lambda: None)
+    by_eps = {row["epsilon"]: row for row in pareto_rows}
+    # the theoretical exponents cross at ε = ½ (the weakly Pareto point)
+    assert by_eps[0.5]["expected_update_exp"] == pytest.approx(0.5)
+    assert by_eps[0.5]["expected_delay_exp"] == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+def test_fig3_omv_round(benchmark, epsilon, figure_report):
+    """One OMv round: load a vector via single-tuple inserts, enumerate M·v,
+    then retract the vector (Proposition 10's reduction)."""
+    n = scaled(48)
+    database, matrix = omv_matrix_database(n, density=0.3, seed=83)
+    engine = DynamicEngine(SEMIJOIN_QUERY, epsilon=epsilon).load(database)
+    rounds = omv_vector_rounds(n, rounds=1, density=0.4, seed=84)
+    inserts, deletes, vector = rounds[0]
+
+    def omv_round():
+        engine.apply_stream(inserts)
+        support = {a for (a,), _ in engine.enumerate()}
+        engine.apply_stream(deletes)
+        return support
+
+    support = benchmark(omv_round)
+    expected = {int(i) for i in np.nonzero((matrix @ vector) > 0)[0]}
+    assert support == expected

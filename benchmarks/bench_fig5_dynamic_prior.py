@@ -1,0 +1,95 @@
+"""Figure 5: prior work on dynamic evaluation, compared on one workload.
+
+The comparison pits IVM^ε (at ε ∈ {0, ½, 1}) against the baseline engines
+standing in for the prior systems of the figure and of Section 2:
+
+* classical first-order IVM (materialized result + delta queries);
+* full recomputation;
+* full materialization (the "conjunctive queries, O(N^w)/O(1)/O(N^δ)" row);
+* the free-connex / q-hierarchical linear-preprocessing engine
+  (DynYannakakis / F-IVM analogue) on a q-hierarchical query, which is the
+  figure's O(N)/O(1)/O(1) row.
+"""
+
+import pytest
+
+from repro import DynamicEngine, HierarchicalEngine
+from repro.baselines import (
+    FirstOrderIVMEngine,
+    FreeConnexEngine,
+    FullMaterializationEngine,
+    NaiveRecomputeEngine,
+)
+from repro.bench import compare_engines
+from repro.workloads import mixed_stream, path_query_database
+from benchmarks.conftest import make_update_cycler, scaled
+
+PATH_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+QHIER_QUERY = "Q(A, B) = R(A, B), S(B, C)"
+SIZE = scaled(1000)
+UPDATES = 150
+
+
+@pytest.fixture(scope="module")
+def dynamic_prior_rows(figure_report):
+    database = path_query_database(SIZE, skew=1.2, seed=101)
+    rows = compare_engines(
+        PATH_QUERY,
+        database,
+        {
+            "IVM^eps eps=0.0": lambda: HierarchicalEngine(PATH_QUERY, epsilon=0.0),
+            "IVM^eps eps=0.5": lambda: HierarchicalEngine(PATH_QUERY, epsilon=0.5),
+            "IVM^eps eps=1.0": lambda: HierarchicalEngine(PATH_QUERY, epsilon=1.0),
+            "first-order IVM": lambda: FirstOrderIVMEngine(PATH_QUERY),
+            "full materialization": lambda: FullMaterializationEngine(PATH_QUERY),
+            "recompute": lambda: NaiveRecomputeEngine(PATH_QUERY),
+        },
+        updates_factory=lambda: mixed_stream(database, UPDATES, seed=102, domain=SIZE),
+        delay_limit=1200,
+    )
+    for row in rows:
+        row["query"] = "hierarchical w=2 (Example 28)"
+    qhier_database = path_query_database(SIZE, skew=1.2, seed=103)
+    qhier_rows = compare_engines(
+        QHIER_QUERY,
+        qhier_database,
+        {
+            "q-hierarchical via free-connex views": lambda: FreeConnexEngine(QHIER_QUERY),
+            "q-hierarchical via IVM^eps": lambda: HierarchicalEngine(QHIER_QUERY, epsilon=1.0),
+        },
+        updates_factory=lambda: mixed_stream(qhier_database, UPDATES, seed=104, domain=SIZE),
+        delay_limit=1200,
+    )
+    for row in qhier_rows:
+        row["query"] = "q-hierarchical (O(N)/O(1)/O(1) row)"
+    all_rows = rows + qhier_rows
+    figure_report.record("Figure 5: dynamic prior-work comparison", all_rows)
+    return all_rows
+
+
+ENGINES = {
+    "ivm_eps_05": lambda: HierarchicalEngine(PATH_QUERY, epsilon=0.5),
+    "first_order_ivm": lambda: FirstOrderIVMEngine(PATH_QUERY),
+    "recompute": lambda: NaiveRecomputeEngine(PATH_QUERY),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES))
+def test_fig5_update_per_engine(benchmark, name, dynamic_prior_rows):
+    database = path_query_database(scaled(600), skew=1.2, seed=105)
+    engine = ENGINES[name]()
+    engine.load(database)
+    benchmark(make_update_cycler(engine, "R", 2, database.size, seed=106))
+
+
+def test_fig5_recompute_is_slowest_updater(dynamic_prior_rows, benchmark):
+    benchmark(lambda: None)
+    path_rows = {
+        row["engine"]: row
+        for row in dynamic_prior_rows
+        if row["query"].startswith("hierarchical")
+    }
+    assert (
+        path_rows["recompute"]["update_mean_s"]
+        > path_rows["IVM^eps eps=0.5"]["update_mean_s"]
+    )

@@ -1,0 +1,57 @@
+"""A social "feed" maintained under a stream of new posts.
+
+``Feed(U, P) = Follows(U, C), Posts(C, P)`` pairs every user with every post
+published on a channel they follow.  Channel popularity is Zipf-distributed:
+a few channels have very many followers and very many posts (heavy), most
+have a handful (light).  Maintaining the full feed eagerly is quadratic in
+the hot channels; the IVM^ε engine instead materializes the light part and
+answers the heavy part on the fly, giving sublinear update time *and*
+sublinear enumeration delay (the paper's headline trade-off for
+δ₁-hierarchical queries, Figure 3).
+
+Run with::
+
+    python examples/social_feed.py
+"""
+
+from repro import HierarchicalEngine
+from repro.bench import measure_enumeration_delay, measure_update_stream, print_table
+from repro.workloads import SOCIAL_QUERY, social_database, social_post_stream
+
+
+def main() -> None:
+    database = social_database(follows=4000, posts=4000, users=1000, channels=250, skew=1.3, seed=3)
+    print("Feed query:", SOCIAL_QUERY)
+    print(f"database size N = {database.size}")
+
+    posts = social_post_stream(500, channels=250, skew=1.3, seed=4)
+    rows = []
+    for epsilon in (0.0, 0.5, 1.0):
+        engine = HierarchicalEngine(SOCIAL_QUERY, epsilon=epsilon)
+        engine.load(database)
+        update_measurement = measure_update_stream(engine, posts)
+        delay_measurement, _ = measure_enumeration_delay(engine, limit=3000)
+        stats = engine.rebalance_stats.as_dict()
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "preprocess_s": engine.preprocessing_seconds,
+                "view_tuples": engine.view_size(),
+                "update_mean_s": update_measurement.mean,
+                "delay_max_s": delay_measurement.maximum,
+                "minor_rebalances": stats["minor_rebalances"],
+                "major_rebalances": stats["major_rebalances"],
+            }
+        )
+    print_table(rows, "social feed: the update/delay trade-off as epsilon varies")
+
+    print(
+        "Reading the table: epsilon = 1 materializes the whole feed "
+        "(fast enumeration, slow updates on hot channels); epsilon = 0 keeps "
+        "almost nothing materialized (cheap updates, slow enumeration); "
+        "epsilon = 0.5 sits at the weakly Pareto-optimal point of Figure 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Trade-offs in Static and Dynamic Evaluation of
+Hierarchical Queries" (Kara, Nikolic, Olteanu, Zhang; PODS 2020).
+
+The package implements the paper's IVM^ε algorithm end to end: hierarchical
+query classification, canonical/free-top variable orders, static and dynamic
+width measures, skew-aware view trees over heavy/light partitions,
+preprocessing, constant-delay-style enumeration with the Union and Product
+algorithms, and incremental maintenance with minor/major rebalancing — plus
+baselines, synthetic workloads, and a benchmark harness that regenerates the
+shape of every figure in the paper.
+
+Quickstart::
+
+    from repro import Database, HierarchicalEngine
+
+    db = Database.from_dict({
+        "R": (("A", "B"), [(1, 10), (2, 10)]),
+        "S": (("B", "C"), [(10, 5)]),
+    })
+    engine = HierarchicalEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=0.5)
+    engine.load(db)
+    print(engine.result())
+"""
+
+from repro.core.api import DynamicEngine, HierarchicalEngine, StaticEngine
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.update import Update, UpdateStream
+from repro.query.atom import Atom, atom
+from repro.query.classes import classify
+from repro.query.conjunctive import ConjunctiveQuery, query
+from repro.query.parser import parse_query
+from repro.widths.dynamic_width import dynamic_width
+from repro.widths.static_width import static_width
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "DynamicEngine",
+    "HierarchicalEngine",
+    "Relation",
+    "StaticEngine",
+    "Update",
+    "UpdateStream",
+    "atom",
+    "classify",
+    "dynamic_width",
+    "parse_query",
+    "query",
+    "static_width",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline evaluation strategies used in the comparison benchmarks."""
+
+from repro.baselines.base import BaselineEngine
+from repro.baselines.first_order_ivm import FirstOrderIVMEngine
+from repro.baselines.free_connex import FreeConnexEngine
+from repro.baselines.full_materialization import FullMaterializationEngine
+from repro.baselines.naive import NaiveRecomputeEngine
+
+__all__ = [
+    "BaselineEngine",
+    "FirstOrderIVMEngine",
+    "FreeConnexEngine",
+    "FullMaterializationEngine",
+    "NaiveRecomputeEngine",
+]

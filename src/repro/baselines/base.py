@@ -1,0 +1,79 @@
+"""Common scaffolding for baseline engines.
+
+Baselines implement the same external interface as
+:class:`repro.core.api.HierarchicalEngine` — ``load``, ``update`` /
+``apply`` / ``apply_stream``, ``enumerate``, ``result`` — so the benchmark
+harness can swap them in and out when reproducing the comparison tables
+(Figures 4 and 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.core.planner import coerce_query
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+from repro.data.update import Update
+from repro.exceptions import ReproError
+
+
+class BaselineEngine:
+    """Abstract base class of the baseline evaluation strategies."""
+
+    name = "baseline"
+
+    def __init__(self, query, copy_database: bool = True) -> None:
+        self.query = coerce_query(query)
+        self.copy_database = copy_database
+        self.database: Optional[Database] = None
+        self.preprocessing_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def load(self, database: Database) -> "BaselineEngine":
+        """Run the baseline's preprocessing stage."""
+        self.database = database.copy() if self.copy_database else database
+        started = time.perf_counter()
+        self._preprocess()
+        self.preprocessing_seconds = time.perf_counter() - started
+        return self
+
+    def _require_loaded(self) -> None:
+        if self.database is None:
+            raise ReproError("the engine has no database; call load() first")
+
+    # -- hooks ---------------------------------------------------------------
+    def _preprocess(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _apply_update(self, update: Update) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def enumerate(self) -> Iterator[Tuple[ValueTuple, int]]:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def update(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        self.apply(Update(relation, tuple(tup), multiplicity))
+
+    def apply(self, update: Update) -> None:
+        self._require_loaded()
+        self._apply_update(update)
+
+    def apply_stream(self, updates: Iterable[Update]) -> None:
+        for update in updates:
+            self.apply(update)
+
+    def result(self) -> Dict[ValueTuple, int]:
+        """Materialize the result as ``{tuple: multiplicity}``."""
+        return {tup: mult for tup, mult in self.enumerate()}
+
+    def count_distinct(self) -> int:
+        return sum(1 for _ in self.enumerate())
+
+    def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
+        return self.enumerate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.query!s})"

@@ -1,0 +1,37 @@
+"""Benchmark harness: timing, exponent fitting, reporting, experiment drivers."""
+
+from repro.bench.experiments import (
+    compare_engines,
+    scaling_experiment,
+    sweep_epsilon,
+    tradeoff_point,
+)
+from repro.bench.fitting import ExponentFit, fit_exponent, theoretical_exponents
+from repro.bench.reporting import format_series, format_table, print_table
+from repro.bench.timing import (
+    Measurement,
+    TradeoffPoint,
+    measure_enumeration_delay,
+    measure_preprocessing,
+    measure_update_stream,
+    time_call,
+)
+
+__all__ = [
+    "ExponentFit",
+    "Measurement",
+    "TradeoffPoint",
+    "compare_engines",
+    "fit_exponent",
+    "format_series",
+    "format_table",
+    "measure_enumeration_delay",
+    "measure_preprocessing",
+    "measure_update_stream",
+    "print_table",
+    "scaling_experiment",
+    "sweep_epsilon",
+    "theoretical_exponents",
+    "time_call",
+    "tradeoff_point",
+]

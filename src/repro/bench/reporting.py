@@ -1,0 +1,67 @@
+"""Plain-text reporting for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper figure it reproduces as a
+fixed-width table — the output lands both on the console (pytest ``-s`` or
+the captured benchmark log) and in ``bench_output.txt``, where it can be
+compared side by side with the paper's figures (see ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object) -> str:
+    """Human-friendly formatting of table cells."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.0005:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of row-dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(column), *(len(format_value(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(
+                format_value(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Print and return the formatted table."""
+    text = format_table(rows, title)
+    print("\n" + text + "\n")
+    return text
+
+
+def format_series(
+    label: str, xs: Sequence[object], ys: Sequence[object], x_name: str = "x", y_name: str = "y"
+) -> str:
+    """Render a single (x, y) series as rows (used for figure curves)."""
+    rows = [{x_name: x, y_name: y} for x, y in zip(xs, ys)]
+    return format_table(rows, title=label)

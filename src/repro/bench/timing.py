@@ -1,0 +1,144 @@
+"""Timing utilities for the benchmark harness.
+
+The paper's claims are about three runtime components — preprocessing time,
+amortized single-tuple update time, and enumeration delay.  Because Python's
+per-operation noise (interpreter dispatch, garbage collection) dwarfs the
+constants the paper cares about, each measurement batches many operations and
+reports totals, means, and high percentiles; the scaling benchmarks then fit
+exponents across database sizes instead of comparing absolute values (see
+``DESIGN.md``, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.update import Update
+
+
+@dataclass
+class Measurement:
+    """Summary statistics of a batch of timed operations (seconds)."""
+
+    label: str
+    count: int
+    total: float
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, label: str, samples: Sequence[float]) -> "Measurement":
+        if not samples:
+            return cls(label, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return cls(
+            label=label,
+            count=len(samples),
+            total=sum(samples),
+            mean=statistics.fmean(samples),
+            median=statistics.median(samples),
+            p95=ordered[p95_index],
+            maximum=ordered[-1],
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    """Wall-clock seconds of one call."""
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def measure_preprocessing(engine_factory: Callable[[], object], database: Database) -> Tuple[object, float]:
+    """Build an engine, load the database, and return (engine, seconds)."""
+    engine = engine_factory()
+    started = time.perf_counter()
+    engine.load(database)
+    return engine, time.perf_counter() - started
+
+
+def measure_update_stream(engine, updates: Iterable[Update], label: str = "update") -> Measurement:
+    """Apply a stream of updates one at a time, timing each.
+
+    The *mean* of this measurement is the amortized per-update time the paper
+    reasons about (rebalancing spikes are folded into the average).
+    """
+    samples: List[float] = []
+    for update in updates:
+        started = time.perf_counter()
+        engine.apply(update)
+        samples.append(time.perf_counter() - started)
+    return Measurement.from_samples(label, samples)
+
+
+def measure_enumeration_delay(
+    engine, limit: Optional[int] = None, label: str = "delay"
+) -> Tuple[Measurement, int]:
+    """Iterate the engine's result, timing every ``next`` call.
+
+    Returns the delay measurement and the number of tuples enumerated.  The
+    maximum (and p95) delay is the quantity the paper bounds by
+    ``O(N^{1−ε})``.
+    """
+    samples: List[float] = []
+    produced = 0
+    iterator = iter(engine.enumerate()) if hasattr(engine, "enumerate") else iter(engine)
+    while True:
+        started = time.perf_counter()
+        try:
+            next(iterator)
+        except StopIteration:
+            samples.append(time.perf_counter() - started)
+            break
+        samples.append(time.perf_counter() - started)
+        produced += 1
+        if limit is not None and produced >= limit:
+            break
+    return Measurement.from_samples(label, samples), produced
+
+
+@dataclass
+class TradeoffPoint:
+    """One (ε, N) point of the trade-off space with all measured components."""
+
+    epsilon: float
+    database_size: int
+    preprocessing_seconds: float
+    update: Optional[Measurement] = None
+    delay: Optional[Measurement] = None
+    view_size: Optional[int] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "epsilon": self.epsilon,
+            "N": self.database_size,
+            "preprocess_s": self.preprocessing_seconds,
+        }
+        if self.update is not None:
+            row["update_mean_s"] = self.update.mean
+            row["update_p95_s"] = self.update.p95
+        if self.delay is not None:
+            row["delay_mean_s"] = self.delay.mean
+            row["delay_max_s"] = self.delay.maximum
+        if self.view_size is not None:
+            row["view_tuples"] = self.view_size
+        row.update(self.extra)
+        return row

@@ -1,0 +1,23 @@
+"""Public facade: engines and planner."""
+
+from repro.core.api import DynamicEngine, HierarchicalEngine, StaticEngine
+from repro.core.planner import (
+    QueryPlan,
+    coerce_query,
+    instantiate_plan,
+    plan_query,
+    validate_database,
+    validate_query,
+)
+
+__all__ = [
+    "DynamicEngine",
+    "HierarchicalEngine",
+    "QueryPlan",
+    "StaticEngine",
+    "coerce_query",
+    "instantiate_plan",
+    "plan_query",
+    "validate_database",
+    "validate_query",
+]

@@ -1,0 +1,236 @@
+"""Public facade of the library: the IVM^ε engine.
+
+:class:`HierarchicalEngine` ties everything together.  Typical use::
+
+    from repro import Database, HierarchicalEngine
+
+    db = Database.from_dict({
+        "R": (("A", "B"), [(1, 10), (2, 10), (2, 20)]),
+        "S": (("B", "C"), [(10, 7), (20, 8)]),
+    })
+    engine = HierarchicalEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=0.5)
+    engine.load(db)
+    print(dict(engine.enumerate()))          # {(1, 7): 1, (2, 7): 1, (2, 8): 1}
+    engine.update("R", (3, 20), +1)          # single-tuple insert
+    print(engine.result())
+
+The ``epsilon`` parameter is the paper's trade-off knob: preprocessing runs
+in ``O(N^{1+(w−1)ε})``, enumeration delay is ``O(N^{1−ε})``, and (in dynamic
+mode) single-tuple updates take ``O(N^{δε})`` amortized time, where ``w`` and
+``δ`` are the static and dynamic widths of the query (Theorems 2 and 4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+from repro.data.update import Update, UpdateStream
+from repro.engine.materialize import materialize_plan, total_view_size
+from repro.enumeration.result import ResultEnumerator
+from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.ivm.rebalance import MaintenanceDriver, RebalanceStats
+from repro.core.planner import (
+    QueryPlan,
+    coerce_query,
+    instantiate_plan,
+    plan_query,
+)
+from repro.views.build import DYNAMIC_MODE, STATIC_MODE
+from repro.views.skew import SkewAwarePlan
+
+
+class HierarchicalEngine:
+    """Static and dynamic evaluation of hierarchical queries with the ε trade-off."""
+
+    def __init__(
+        self,
+        query,
+        epsilon: float = 0.5,
+        mode: str = DYNAMIC_MODE,
+        enable_rebalancing: bool = True,
+        copy_database: bool = True,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self.epsilon = epsilon
+        self.mode = mode
+        self.enable_rebalancing = enable_rebalancing
+        self.copy_database = copy_database
+        self.plan: QueryPlan = plan_query(coerce_query(query), mode)
+        self.query = self.plan.query
+        self._database: Optional[Database] = None
+        self._skew_plan: Optional[SkewAwarePlan] = None
+        self._driver: Optional[MaintenanceDriver] = None
+        self.preprocessing_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def static_width(self) -> float:
+        """The query's static width ``w`` (Definition 15)."""
+        return self.plan.static_width
+
+    @property
+    def dynamic_width(self) -> float:
+        """The query's dynamic width ``δ`` (Definition 16)."""
+        return self.plan.dynamic_width
+
+    @property
+    def classification(self):
+        """Class membership summary of the query (Figure 2 landscape)."""
+        return self.plan.classification
+
+    @property
+    def database(self) -> Database:
+        self._require_loaded()
+        assert self._database is not None
+        return self._database
+
+    @property
+    def threshold(self) -> float:
+        """The current heavy/light threshold (``N^ε`` static, ``M^ε`` dynamic)."""
+        self._require_loaded()
+        if self._driver is not None:
+            return self._driver.threshold
+        assert self._database is not None
+        return max(1.0, float(self._database.size)) ** self.epsilon
+
+    @property
+    def rebalance_stats(self) -> Optional[RebalanceStats]:
+        return self._driver.stats if self._driver is not None else None
+
+    def expected_exponents(self) -> Dict[str, float]:
+        """The asymptotic exponents of Theorems 2/4 for this query and ε."""
+        return self.plan.expected_exponents(self.epsilon)
+
+    def view_size(self) -> int:
+        """Total number of tuples stored across all materialized views."""
+        self._require_loaded()
+        assert self._skew_plan is not None
+        return total_view_size(self._skew_plan)
+
+    def explain(self) -> str:
+        """Human-readable description of the plan and, if loaded, the view trees."""
+        parts = [self.plan.describe(), f"epsilon: {self.epsilon}", f"mode: {self.mode}"]
+        if self._skew_plan is not None:
+            parts.append(self._skew_plan.describe())
+        return "\n".join(parts)
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def load(self, database: Database) -> "HierarchicalEngine":
+        """Run the preprocessing stage on ``database``.
+
+        With ``copy_database=True`` (the default) the engine operates on a
+        private copy, so the caller's relations are never mutated by updates.
+        """
+        self._database = database.copy() if self.copy_database else database
+        started = time.perf_counter()
+        self._skew_plan = instantiate_plan(self.plan, self._database)
+        if self.mode == DYNAMIC_MODE:
+            self._driver = MaintenanceDriver(
+                self._skew_plan,
+                self._database,
+                self.epsilon,
+                enable_rebalancing=self.enable_rebalancing,
+            )
+            threshold = self._driver.threshold
+        else:
+            self._driver = None
+            threshold = max(1.0, float(self._database.size)) ** self.epsilon
+        materialize_plan(self._skew_plan, threshold)
+        self.preprocessing_seconds = time.perf_counter() - started
+        return self
+
+    def _require_loaded(self) -> None:
+        if self._skew_plan is None:
+            raise ReproError("the engine has no database; call load() first")
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def enumerate(self) -> ResultEnumerator:
+        """Return an enumerator over the distinct result tuples."""
+        self._require_loaded()
+        assert self._skew_plan is not None
+        return ResultEnumerator(self._skew_plan, self.query)
+
+    def result(self) -> Dict[ValueTuple, int]:
+        """Materialize the full result as ``{tuple: multiplicity}``."""
+        return self.enumerate().to_dict()
+
+    def count_distinct(self) -> int:
+        """Number of distinct result tuples."""
+        return sum(1 for _ in self.enumerate())
+
+    def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
+        return iter(self.enumerate())
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        """Apply a single-tuple update ``δR = {tup → multiplicity}``."""
+        self.apply(Update(relation, tuple(tup), multiplicity))
+
+    def insert(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        """Insert ``multiplicity`` copies of ``tup`` into ``relation``."""
+        self.update(relation, tup, abs(multiplicity))
+
+    def delete(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        """Delete ``multiplicity`` copies of ``tup`` from ``relation``."""
+        self.update(relation, tup, -abs(multiplicity))
+
+    def apply(self, update: Update) -> None:
+        """Apply one :class:`~repro.data.update.Update`."""
+        self._require_loaded()
+        if self.mode != DYNAMIC_MODE or self._driver is None:
+            raise UnsupportedQueryError(
+                "updates require mode='dynamic'; this engine was built for "
+                "static evaluation"
+            )
+        self._driver.on_update(update)
+
+    def apply_stream(self, updates: Iterable[Update]) -> None:
+        """Apply a sequence of single-tuple updates in order."""
+        for update in updates:
+            self.apply(update)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HierarchicalEngine({self.query!s}, epsilon={self.epsilon}, "
+            f"mode={self.mode!r})"
+        )
+
+
+class StaticEngine(HierarchicalEngine):
+    """Convenience subclass for static evaluation (Theorem 2)."""
+
+    def __init__(self, query, epsilon: float = 0.5, copy_database: bool = True) -> None:
+        super().__init__(
+            query, epsilon=epsilon, mode=STATIC_MODE, copy_database=copy_database
+        )
+
+
+class DynamicEngine(HierarchicalEngine):
+    """Convenience subclass for dynamic evaluation (Theorem 4)."""
+
+    def __init__(
+        self,
+        query,
+        epsilon: float = 0.5,
+        enable_rebalancing: bool = True,
+        copy_database: bool = True,
+    ) -> None:
+        super().__init__(
+            query,
+            epsilon=epsilon,
+            mode=DYNAMIC_MODE,
+            enable_rebalancing=enable_rebalancing,
+            copy_database=copy_database,
+        )

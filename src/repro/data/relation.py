@@ -1,0 +1,297 @@
+"""Multiplicity-annotated relations with secondary indexes.
+
+This module implements the data-structure contract of Section 3 of the paper
+("Computational Model"):
+
+* a relation ``R`` over schema ``X`` stores key-value entries ``(x, R(x))``
+  for every tuple ``x`` with non-zero multiplicity, supports constant-time
+  lookups, inserts and deletes, constant-delay enumeration of its entries,
+  and constant-time reporting of ``|R|``;
+* for any sub-schema ``S ⊂ X`` an index can (4) enumerate all tuples in
+  ``σ_{S=t} R`` with constant delay, (5) check ``t ∈ π_S R`` in constant
+  time, (6) return ``|σ_{S=t} R|`` in constant time, and (7) insert and
+  delete index entries in constant time.
+
+Python dictionaries preserve insertion order and give amortized O(1)
+lookup/insert/delete, which matches the hash-table-with-chaining construction
+described in the paper up to amortization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.data.schema import (
+    Projector,
+    Schema,
+    ValueTuple,
+    is_subschema,
+    make_schema,
+)
+from repro.exceptions import RejectedUpdateError, SchemaError
+
+
+class Index:
+    """A secondary index of a relation on a sub-schema.
+
+    Maps every key tuple ``t`` over the index schema to the group of full
+    tuples of the relation that agree with ``t``, stored as an
+    insertion-ordered dict which plays the role of the doubly-linked list of
+    the paper (constant-delay enumeration, constant-time removal).
+    """
+
+    __slots__ = ("schema", "key_schema", "_projector", "_groups")
+
+    def __init__(self, schema: Schema, key_schema: Schema) -> None:
+        if not is_subschema(key_schema, schema):
+            raise SchemaError(
+                f"index schema {key_schema!r} is not a subset of {schema!r}"
+            )
+        self.schema = schema
+        self.key_schema = key_schema
+        self._projector = Projector(schema, key_schema)
+        # key tuple -> {full tuple: None}
+        self._groups: Dict[ValueTuple, Dict[ValueTuple, None]] = {}
+
+    def add(self, tup: ValueTuple) -> None:
+        """Register ``tup`` under its key (idempotent)."""
+        key = self._projector(tup)
+        group = self._groups.get(key)
+        if group is None:
+            group = {}
+            self._groups[key] = group
+        group[tup] = None
+
+    def remove(self, tup: ValueTuple) -> None:
+        """Remove ``tup`` from its key group (no-op if absent)."""
+        key = self._projector(tup)
+        group = self._groups.get(key)
+        if group is None:
+            return
+        group.pop(tup, None)
+        if not group:
+            del self._groups[key]
+
+    def key_of(self, tup: ValueTuple) -> ValueTuple:
+        """Project a full tuple onto the index key schema."""
+        return self._projector(tup)
+
+    def contains_key(self, key: ValueTuple) -> bool:
+        """Constant-time test ``key ∈ π_S R``."""
+        return key in self._groups
+
+    def group(self, key: ValueTuple) -> Iterable[ValueTuple]:
+        """Constant-delay enumeration of ``σ_{S=key} R``."""
+        return self._groups.get(key, {}).keys()
+
+    def group_size(self, key: ValueTuple) -> int:
+        """Constant-time ``|σ_{S=key} R|`` (number of distinct tuples)."""
+        group = self._groups.get(key)
+        return len(group) if group is not None else 0
+
+    def keys(self) -> Iterable[ValueTuple]:
+        """Enumerate the distinct key values ``π_S R``."""
+        return self._groups.keys()
+
+    def num_keys(self) -> int:
+        """Constant-time ``|π_S R|``."""
+        return len(self._groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Index({self.key_schema!r}, keys={len(self._groups)})"
+
+
+class Relation:
+    """A finite map from tuples to strictly positive multiplicities.
+
+    The relation also owns any number of secondary :class:`Index` objects,
+    created on demand via :meth:`ensure_index` and kept consistent by all
+    mutating operations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Iterable[str],
+        tuples: Optional[Mapping[ValueTuple, int]] = None,
+    ) -> None:
+        self.name = name
+        self.schema: Schema = make_schema(schema)
+        self._data: Dict[ValueTuple, int] = {}
+        self._indexes: Dict[Schema, Index] = {}
+        if tuples:
+            for tup, mult in tuples.items():
+                self.apply_delta(tup, mult)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of variables in the schema."""
+        return len(self.schema)
+
+    def __len__(self) -> int:
+        """Number of distinct tuples with non-zero multiplicity (``|R|``)."""
+        return len(self._data)
+
+    def __contains__(self, tup: ValueTuple) -> bool:
+        return tup in self._data
+
+    def __iter__(self) -> Iterator[ValueTuple]:
+        return iter(self._data)
+
+    def multiplicity(self, tup: ValueTuple) -> int:
+        """Return ``R(x)``; 0 when the tuple is absent."""
+        return self._data.get(tup, 0)
+
+    def items(self) -> Iterable[Tuple[ValueTuple, int]]:
+        """Enumerate ``(tuple, multiplicity)`` entries with constant delay."""
+        return self._data.items()
+
+    def tuples(self) -> Iterable[ValueTuple]:
+        """Enumerate the tuples with non-zero multiplicity."""
+        return self._data.keys()
+
+    def total_multiplicity(self) -> int:
+        """Sum of all multiplicities (useful for COUNT-style assertions)."""
+        return sum(self._data.values())
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Return a deep copy of the relation content (indexes not copied)."""
+        clone = Relation(name or self.name, self.schema)
+        clone._data = dict(self._data)
+        return clone
+
+    def clear(self) -> None:
+        """Remove all tuples and index entries."""
+        self._data.clear()
+        for index in self._indexes.values():
+            index._groups.clear()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _check_arity(self, tup: ValueTuple) -> None:
+        if len(tup) != len(self.schema):
+            raise SchemaError(
+                f"tuple {tup!r} has arity {len(tup)} but relation {self.name!r} "
+                f"has schema {self.schema!r}"
+            )
+
+    def apply_delta(self, tup: ValueTuple, delta: int) -> int:
+        """Add ``delta`` to the multiplicity of ``tup`` and return the new value.
+
+        Raises :class:`RejectedUpdateError` if the result would be negative,
+        matching the paper's rejection of over-deleting updates.  A resulting
+        multiplicity of zero removes the tuple from the relation and from all
+        indexes.
+        """
+        self._check_arity(tup)
+        if delta == 0:
+            return self._data.get(tup, 0)
+        current = self._data.get(tup, 0)
+        updated = current + delta
+        if updated < 0:
+            raise RejectedUpdateError(
+                f"delete of {-delta} copies of {tup!r} rejected: relation "
+                f"{self.name!r} holds only {current}"
+            )
+        if updated == 0:
+            del self._data[tup]
+            for index in self._indexes.values():
+                index.remove(tup)
+        else:
+            if current == 0:
+                self._data[tup] = updated
+                for index in self._indexes.values():
+                    index.add(tup)
+            else:
+                self._data[tup] = updated
+        return updated
+
+    def set_multiplicity(self, tup: ValueTuple, mult: int) -> None:
+        """Set the multiplicity of ``tup`` to exactly ``mult`` (≥ 0)."""
+        current = self.multiplicity(tup)
+        self.apply_delta(tup, mult - current)
+
+    def insert(self, tup: ValueTuple, mult: int = 1) -> None:
+        """Insert ``mult`` copies of ``tup`` (``mult`` must be positive)."""
+        if mult <= 0:
+            raise ValueError("insert requires a positive multiplicity")
+        self.apply_delta(tup, mult)
+
+    def delete(self, tup: ValueTuple, mult: int = 1) -> None:
+        """Delete ``mult`` copies of ``tup`` (``mult`` must be positive)."""
+        if mult <= 0:
+            raise ValueError("delete requires a positive multiplicity")
+        self.apply_delta(tup, -mult)
+
+    def merge(self, other: "Relation", sign: int = 1) -> None:
+        """Apply every entry of ``other`` (scaled by ``sign``) to this relation."""
+        if other.schema != self.schema:
+            raise SchemaError(
+                f"cannot merge {other.schema!r} into {self.schema!r}"
+            )
+        for tup, mult in other.items():
+            self.apply_delta(tup, sign * mult)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def ensure_index(self, key_schema: Iterable[str]) -> Index:
+        """Return (building if necessary) the index on ``key_schema``.
+
+        The key schema is normalised to the ordering induced by the relation
+        schema so logically equal requests share one index.
+        """
+        key = tuple(var for var in self.schema if var in set(key_schema))
+        if set(key) != set(key_schema):
+            raise SchemaError(
+                f"index schema {tuple(key_schema)!r} is not a subset of {self.schema!r}"
+            )
+        index = self._indexes.get(key)
+        if index is None:
+            index = Index(self.schema, key)
+            for tup in self._data:
+                index.add(tup)
+            self._indexes[key] = index
+        return index
+
+    def has_index(self, key_schema: Iterable[str]) -> bool:
+        key = tuple(var for var in self.schema if var in set(key_schema))
+        return key in self._indexes
+
+    # ------------------------------------------------------------------
+    # algebra helpers used throughout the engine
+    # ------------------------------------------------------------------
+    def slice(self, key_schema: Schema, key: ValueTuple) -> Iterable[ValueTuple]:
+        """Enumerate ``σ_{S=key} R`` via the index on ``S``."""
+        return self.ensure_index(key_schema).group(key)
+
+    def slice_size(self, key_schema: Schema, key: ValueTuple) -> int:
+        """Return ``|σ_{S=key} R|`` via the index on ``S``."""
+        return self.ensure_index(key_schema).group_size(key)
+
+    def distinct_keys(self, key_schema: Schema) -> Iterable[ValueTuple]:
+        """Enumerate ``π_S R`` via the index on ``S``."""
+        return self.ensure_index(key_schema).keys()
+
+    def contains_key(self, key_schema: Schema, key: ValueTuple) -> bool:
+        """Constant-time test ``key ∈ π_S R``."""
+        return self.ensure_index(key_schema).contains_key(key)
+
+    def project(self, target_schema: Schema, name: Optional[str] = None) -> "Relation":
+        """Return a new relation ``π_target R`` summing multiplicities."""
+        projector = Projector(self.schema, target_schema)
+        result = Relation(name or f"π({self.name})", target_schema)
+        for tup, mult in self._data.items():
+            result.apply_delta(projector(tup), mult)
+        return result
+
+    def as_dict(self) -> Dict[ValueTuple, int]:
+        """Return a copy of the underlying tuple → multiplicity mapping."""
+        return dict(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, schema={self.schema!r}, size={len(self)})"

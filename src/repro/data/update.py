@@ -1,0 +1,129 @@
+"""Single-tuple updates and update streams.
+
+The paper models an update as ``δR = {x → m}``: an insert when ``m > 0`` and
+a delete when ``m < 0`` (Section 3).  :class:`Update` captures exactly that,
+and :class:`UpdateStream` is a thin convenience wrapper used by the dynamic
+engine, the baselines, and the benchmark harness so all of them consume the
+same update sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single-tuple update ``δR = {tuple → multiplicity}``."""
+
+    relation: str
+    tuple: ValueTuple
+    multiplicity: int = 1
+
+    @property
+    def is_insert(self) -> bool:
+        """True when the update adds copies of the tuple."""
+        return self.multiplicity > 0
+
+    @property
+    def is_delete(self) -> bool:
+        """True when the update removes copies of the tuple."""
+        return self.multiplicity < 0
+
+    def inverted(self) -> "Update":
+        """Return the update that undoes this one."""
+        return Update(self.relation, self.tuple, -self.multiplicity)
+
+    def __post_init__(self) -> None:
+        if self.multiplicity == 0:
+            raise ValueError("an update must have a non-zero multiplicity")
+        object.__setattr__(self, "tuple", tuple(self.tuple))
+
+
+class UpdateStream:
+    """An ordered sequence of single-tuple updates."""
+
+    def __init__(self, updates: Iterable[Update] = ()) -> None:
+        self._updates: List[Update] = list(updates)
+
+    def append(self, update: Update) -> None:
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        self._updates.extend(updates)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __getitem__(self, item: int) -> Update:
+        return self._updates[item]
+
+    def inserts(self) -> "UpdateStream":
+        """Return the sub-stream of inserts, in order."""
+        return UpdateStream(u for u in self._updates if u.is_insert)
+
+    def deletes(self) -> "UpdateStream":
+        """Return the sub-stream of deletes, in order."""
+        return UpdateStream(u for u in self._updates if u.is_delete)
+
+    def apply_to(self, database: Database) -> None:
+        """Apply every update directly to the base relations of ``database``.
+
+        This bypasses any incremental maintenance and is used by tests and
+        baselines to obtain the ground-truth database state.
+        """
+        for update in self._updates:
+            database.relation(update.relation).apply_delta(
+                update.tuple, update.multiplicity
+            )
+
+    @classmethod
+    def from_database(cls, database: Database) -> "UpdateStream":
+        """Return the stream that inserts every tuple of ``database``.
+
+        The paper observes that preprocessing is equivalent to inserting ``N``
+        tuples into an empty database; this helper makes that experiment (and
+        the corresponding tests) a one-liner.
+        """
+        updates: List[Update] = []
+        for relation in database:
+            for tup, mult in relation.items():
+                updates.append(Update(relation.name, tup, mult))
+        return cls(updates)
+
+    @classmethod
+    def interleave(cls, streams: Sequence["UpdateStream"]) -> "UpdateStream":
+        """Round-robin interleave several streams into one."""
+        iterators = [iter(stream) for stream in streams]
+        merged: List[Update] = []
+        active = list(iterators)
+        while active:
+            still_active = []
+            for iterator in active:
+                try:
+                    merged.append(next(iterator))
+                except StopIteration:
+                    continue
+                still_active.append(iterator)
+            active = still_active
+        return cls(merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UpdateStream(len={len(self._updates)})"
+
+
+def inserts_for(relation: str, tuples: Iterable[ValueTuple]) -> UpdateStream:
+    """Build a stream of unit inserts into ``relation``."""
+    return UpdateStream(Update(relation, tuple(tup), 1) for tup in tuples)
+
+
+def deletes_for(relation: str, tuples: Iterable[ValueTuple]) -> UpdateStream:
+    """Build a stream of unit deletes from ``relation``."""
+    return UpdateStream(Update(relation, tuple(tup), -1) for tup in tuples)

@@ -1,0 +1,257 @@
+"""Multiplicity-aware joins over variable-named relations.
+
+The view trees name their columns with query variables, while the stored
+relations may use arbitrary column names; :class:`BoundRelation` provides the
+positional aliasing between the two and the probing primitives (point
+lookups and index slices by partial variable assignments) used by
+materialization, delta propagation, and enumeration alike.
+
+Joins are computed by folding children one at a time into an accumulator of
+``assignment-tuple → multiplicity`` entries, probing each next child through
+a hash index on the shared variables and projecting away variables that are
+needed neither by the output nor by the remaining children (an InsideOut-style
+early aggregation, which is what keeps the materialization costs within the
+bounds of Proposition 21 on the light parts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.relation import Relation
+from repro.data.schema import Schema, ValueTuple
+from repro.exceptions import SchemaError
+
+
+class BoundRelation:
+    """A relation whose columns are (re)named by query variables.
+
+    The variable at position ``i`` corresponds to the ``i``-th column of the
+    underlying relation; tuples exposed by this wrapper are ordered by the
+    variable schema, which coincides with the stored order.
+    """
+
+    __slots__ = ("variables", "relation", "_columns")
+
+    def __init__(self, variables: Sequence[str], relation: Relation) -> None:
+        self.variables: Schema = tuple(variables)
+        if len(self.variables) != len(relation.schema):
+            raise SchemaError(
+                f"cannot bind variables {self.variables!r} to relation "
+                f"{relation.name!r} with schema {relation.schema!r}"
+            )
+        self.relation = relation
+        self._columns = {
+            variable: relation.schema[i] for i, variable in enumerate(self.variables)
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def items(self) -> Iterable[Tuple[ValueTuple, int]]:
+        """All ``(tuple, multiplicity)`` entries, tuples ordered by variables."""
+        return self.relation.items()
+
+    def multiplicity(self, tup: ValueTuple) -> int:
+        """Multiplicity of a tuple given in variable order."""
+        return self.relation.multiplicity(tup)
+
+    def multiplicity_of_assignment(self, assignment: Mapping[str, object]) -> int:
+        """Multiplicity of the tuple described by a (complete) assignment."""
+        try:
+            tup = tuple(assignment[v] for v in self.variables)
+        except KeyError:
+            raise SchemaError(
+                f"assignment {assignment!r} does not cover schema {self.variables!r}"
+            )
+        return self.relation.multiplicity(tup)
+
+    # ------------------------------------------------------------------
+    def _index_key(self, shared: Sequence[str]) -> Tuple[Schema, Tuple[str, ...]]:
+        """Translate shared variables into the underlying index key schema.
+
+        Returns ``(column_key_schema, variable_order)`` where the variable
+        order matches the normalised column order of the index, so callers
+        can build probe keys in the right order.
+        """
+        columns = [self._columns[v] for v in shared]
+        column_set = set(columns)
+        normalised_columns = tuple(
+            c for c in self.relation.schema if c in column_set
+        )
+        column_to_var = {self._columns[v]: v for v in shared}
+        variable_order = tuple(column_to_var[c] for c in normalised_columns)
+        return normalised_columns, variable_order
+
+    def matching(
+        self, assignment: Mapping[str, object]
+    ) -> Iterator[Tuple[ValueTuple, int]]:
+        """Enumerate tuples agreeing with ``assignment`` on shared variables.
+
+        Uses an index on the shared variables (constant-delay per result).
+        When the assignment covers all variables this degenerates to a point
+        lookup; when it covers none, the whole relation is enumerated.
+        """
+        shared = [v for v in self.variables if v in assignment]
+        if len(shared) == len(self.variables):
+            tup = tuple(assignment[v] for v in self.variables)
+            mult = self.relation.multiplicity(tup)
+            if mult:
+                yield tup, mult
+            return
+        if not shared:
+            yield from self.relation.items()
+            return
+        columns, variable_order = self._index_key(shared)
+        key = tuple(assignment[v] for v in variable_order)
+        index = self.relation.ensure_index(columns)
+        for tup in index.group(key):
+            yield tup, self.relation.multiplicity(tup)
+
+    def count_matching(self, assignment: Mapping[str, object]) -> int:
+        """Number of distinct tuples matching ``assignment`` (constant time)."""
+        shared = [v for v in self.variables if v in assignment]
+        if len(shared) == len(self.variables):
+            tup = tuple(assignment[v] for v in self.variables)
+            return 1 if self.relation.multiplicity(tup) else 0
+        if not shared:
+            return len(self.relation)
+        columns, variable_order = self._index_key(shared)
+        key = tuple(assignment[v] for v in variable_order)
+        return self.relation.ensure_index(columns).group_size(key)
+
+    def contains_assignment(self, assignment: Mapping[str, object]) -> bool:
+        """Constant-time membership test of the assignment's key projection."""
+        return self.count_matching(assignment) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundRelation({self.variables!r} -> {self.relation.name!r})"
+
+
+# ----------------------------------------------------------------------
+# join folding
+# ----------------------------------------------------------------------
+def _project_accumulator(
+    schema: Schema, acc: Dict[ValueTuple, int], keep: Schema
+) -> Tuple[Schema, Dict[ValueTuple, int]]:
+    """Project the accumulator onto ``keep`` (summing multiplicities)."""
+    if keep == schema:
+        return schema, acc
+    positions = [schema.index(v) for v in keep]
+    projected: Dict[ValueTuple, int] = {}
+    for tup, mult in acc.items():
+        key = tuple(tup[i] for i in positions)
+        projected[key] = projected.get(key, 0) + mult
+    return keep, projected
+
+
+def fold_join(
+    start_schema: Schema,
+    start: Dict[ValueTuple, int],
+    children: Sequence[BoundRelation],
+    output_schema: Schema,
+) -> Dict[ValueTuple, int]:
+    """Join ``start`` with every child and project to ``output_schema``.
+
+    The accumulator is probed against each child through an index on the
+    shared variables; after each step, variables not needed by the output or
+    the remaining children are aggregated away.
+    """
+    acc_schema: Schema = tuple(start_schema)
+    acc = dict(start)
+    remaining = list(children)
+    # Process smaller children first so the accumulator stays small.
+    remaining.sort(key=len)
+    for idx, child in enumerate(remaining):
+        later_vars: set = set()
+        for future in remaining[idx + 1 :]:
+            later_vars.update(future.variables)
+        needed = set(output_schema) | later_vars
+        child_new = tuple(
+            v for v in child.variables if v not in acc_schema and v in needed
+        )
+        shared = tuple(v for v in acc_schema if v in set(child.variables))
+        new_schema = acc_schema + child_new
+        joined: Dict[ValueTuple, int] = {}
+        shared_positions = [acc_schema.index(v) for v in shared]
+        child_positions = {v: child.variables.index(v) for v in child_new}
+        for tup, mult in acc.items():
+            assignment = {v: tup[p] for v, p in zip(shared, shared_positions)}
+            for child_tup, child_mult in child.matching(assignment):
+                extension = tuple(child_tup[child_positions[v]] for v in child_new)
+                key = tup + extension
+                joined[key] = joined.get(key, 0) + mult * child_mult
+        acc_schema, acc = new_schema, joined
+        keep = tuple(v for v in acc_schema if v in needed)
+        acc_schema, acc = _project_accumulator(acc_schema, acc, keep)
+        if not acc:
+            return {}
+    # final projection onto the requested output schema
+    final_schema = tuple(output_schema)
+    missing = set(final_schema) - set(acc_schema)
+    if missing:
+        raise SchemaError(
+            f"output schema {final_schema!r} requests variables {sorted(missing)} "
+            f"not produced by the join over {[c.variables for c in children]!r}"
+        )
+    _, projected = _project_accumulator(
+        acc_schema, acc, tuple(v for v in acc_schema if v in set(final_schema))
+    )
+    # reorder columns to match the requested output order
+    current = tuple(v for v in acc_schema if v in set(final_schema))
+    if current == final_schema:
+        return projected
+    positions = [current.index(v) for v in final_schema]
+    return {
+        tuple(tup[i] for i in positions): mult for tup, mult in projected.items()
+    }
+
+
+def join_children(
+    children: Sequence[BoundRelation], output_schema: Schema
+) -> Dict[ValueTuple, int]:
+    """Join a list of bound relations and project onto ``output_schema``."""
+    if not children:
+        return {(): 1}
+    first, rest = children[0], children[1:]
+    start_needed = set(output_schema)
+    for child in rest:
+        start_needed.update(child.variables)
+    start_schema = tuple(v for v in first.variables if v in start_needed)
+    start_schema_full = first.variables
+    start: Dict[ValueTuple, int] = {}
+    positions = [start_schema_full.index(v) for v in start_schema]
+    for tup, mult in first.items():
+        key = tuple(tup[i] for i in positions)
+        start[key] = start.get(key, 0) + mult
+    return fold_join(start_schema, start, rest, output_schema)
+
+
+def join_to_relation(
+    children: Sequence[BoundRelation], output_schema: Schema, name: str
+) -> Relation:
+    """Join children into a freshly materialized relation."""
+    result = Relation(name, output_schema)
+    for tup, mult in join_children(children, output_schema).items():
+        if mult != 0:
+            result.apply_delta(tup, mult)
+    return result
+
+
+def delta_join(
+    delta_schema: Schema,
+    delta: Mapping[ValueTuple, int],
+    siblings: Sequence[BoundRelation],
+    output_schema: Schema,
+) -> Dict[ValueTuple, int]:
+    """Compute ``π_out(δ ⋈ sibling₁ ⋈ … ⋈ siblingₖ)``.
+
+    This is the delta-rule primitive of Figure 17: the change of a view under
+    a change of one of its children is the join of that change with the other
+    children, projected to the view schema.
+    """
+    start = {tup: mult for tup, mult in delta.items() if mult != 0}
+    if not start:
+        return {}
+    return fold_join(tuple(delta_schema), start, siblings, tuple(output_schema))

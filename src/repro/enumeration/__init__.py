@@ -1,0 +1,27 @@
+"""Enumeration: view-tree iterators, Union and Product algorithms, results."""
+
+from repro.enumeration.iterators import (
+    DirectIterator,
+    GroundedIterator,
+    IterateIterator,
+    ProductIterator,
+    TreeIterator,
+    build_iterator,
+)
+from repro.enumeration.lookup import lookup_multiplicity
+from repro.enumeration.result import ResultEnumerator
+from repro.enumeration.union import CallbackSource, UnionIterator, UnionSource
+
+__all__ = [
+    "CallbackSource",
+    "DirectIterator",
+    "GroundedIterator",
+    "IterateIterator",
+    "ProductIterator",
+    "ResultEnumerator",
+    "TreeIterator",
+    "UnionIterator",
+    "UnionSource",
+    "build_iterator",
+    "lookup_multiplicity",
+]

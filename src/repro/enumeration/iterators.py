@@ -1,0 +1,348 @@
+"""View-tree iterators: the open/next/close protocol of Figures 13–14.
+
+Each iterator enumerates, for a given context (an assignment of the variables
+fixed by its ancestors), the *distinct* tuples over the free query variables
+contributed by its subtree, together with their multiplicities.  Three cases
+arise, mirroring the paper:
+
+* **direct** — the root view's schema already covers all free variables of
+  the subtree: enumerate the matching view entries;
+* **grounded** — the node has a heavy-indicator child ``∃H``: ground the
+  indicator (one bucket per heavy key matching the context) and take the
+  Union of the buckets, projecting away the grounded bound values so that
+  identical free tuples coming from different heavy keys are deduplicated
+  (cf. Example 28);
+* **iterate** — otherwise: iterate over the root view's entries matching the
+  context (each adds the node's free variable) and, for each, produce the
+  Product of the children's iterators.
+
+Iterators are re-openable: ``open(ctx)`` can be called again after ``close``,
+which is what the Product odometer relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator as TypingIterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.schema import ValueTuple
+from repro.engine.join import BoundRelation
+from repro.enumeration.lookup import lookup_multiplicity
+from repro.enumeration.union import UnionIterator, UnionSource
+from repro.exceptions import EnumerationError
+from repro.views.view import IndicatorLeaf, ViewTreeNode
+
+Assignment = Dict[str, object]
+
+
+class TreeIterator(UnionSource):
+    """Common interface of all view-tree iterators."""
+
+    def __init__(self, free_order: Tuple[str, ...]) -> None:
+        self.free_order = free_order
+        self.out_vars: Tuple[str, ...] = ()
+        self._ctx: Assignment = {}
+        self._opened = False
+
+    # -- protocol ----------------------------------------------------------
+    def open(self, ctx: Mapping[str, object]) -> None:
+        raise NotImplementedError
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        raise NotImplementedError
+
+    def lookup(self, key: ValueTuple) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self._opened = False
+
+    # -- helpers -------------------------------------------------------------
+    def _require_open(self) -> None:
+        if not self._opened:
+            raise EnumerationError("iterator used before open()")
+
+    def _set_context(self, ctx: Mapping[str, object], subtree_vars: FrozenSet[str]) -> None:
+        self._ctx = dict(ctx)
+        free_in_subtree = [v for v in self.free_order if v in subtree_vars]
+        self.out_vars = tuple(v for v in free_in_subtree if v not in self._ctx)
+        self._opened = True
+
+    def _key_to_assignment(self, key: ValueTuple) -> Assignment:
+        assignment = dict(self._ctx)
+        assignment.update(zip(self.out_vars, key))
+        return assignment
+
+
+class DirectIterator(TreeIterator):
+    """Enumerate straight from a view whose schema covers the subtree's free vars."""
+
+    def __init__(self, tree: ViewTreeNode, free_order: Tuple[str, ...]) -> None:
+        super().__init__(free_order)
+        self.tree = tree
+        self._subtree_vars = tree.variables()
+        self._free_set = frozenset(free_order)
+        self._stream: Optional[TypingIterator[Tuple[ValueTuple, int]]] = None
+
+    def open(self, ctx: Mapping[str, object]) -> None:
+        self._set_context(ctx, self._subtree_vars)
+        bound = BoundRelation(self.tree.schema, self.tree.relation())
+        probe = {v: ctx[v] for v in self.tree.schema if v in ctx}
+        out_positions = [
+            self.tree.schema.index(v) for v in self.out_vars
+        ]
+        extra = [
+            v
+            for v in self.tree.schema
+            if v not in probe and v not in self._free_set
+        ]
+        if not extra:
+            def stream() -> TypingIterator[Tuple[ValueTuple, int]]:
+                for tup, mult in bound.matching(probe):
+                    yield tuple(tup[i] for i in out_positions), mult
+
+            self._stream = stream()
+        else:
+            # Defensive fallback (not reached for τ-built trees): aggregate
+            # over the non-free, non-context variables before enumerating.
+            grouped: Dict[ValueTuple, int] = {}
+            for tup, mult in bound.matching(probe):
+                key = tuple(tup[i] for i in out_positions)
+                grouped[key] = grouped.get(key, 0) + mult
+            self._stream = iter(grouped.items())
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        self._require_open()
+        assert self._stream is not None
+        return next(self._stream, None)
+
+    def lookup(self, key: ValueTuple) -> int:
+        return lookup_multiplicity(
+            self.tree, self._free_set, self._key_to_assignment(key)
+        )
+
+
+class ProductIterator(TreeIterator):
+    """Cartesian product of child iterators under a shared context (Figure 16)."""
+
+    def __init__(
+        self, children: Sequence[TreeIterator], free_order: Tuple[str, ...]
+    ) -> None:
+        super().__init__(free_order)
+        self.children: Tuple[TreeIterator, ...] = tuple(children)
+        self._current: List[Optional[Tuple[ValueTuple, int]]] = []
+        self._exhausted = False
+
+    def open(self, ctx: Mapping[str, object]) -> None:
+        self._ctx = dict(ctx)
+        self._opened = True
+        self._exhausted = False
+        self._current = []
+        out: List[str] = []
+        for child in self.children:
+            child.open(ctx)
+            out.extend(v for v in child.out_vars if v not in out)
+        self.out_vars = tuple(v for v in self.free_order if v in out)
+        # prime the odometer: every child must produce at least one tuple
+        for child in self.children:
+            item = child.next()
+            if item is None:
+                self._exhausted = True
+                return
+            self._current.append(item)
+        self._primed = True
+        self._first = True
+
+    def _emit(self) -> Tuple[ValueTuple, int]:
+        assignment: Assignment = {}
+        mult = 1
+        for child, item in zip(self.children, self._current):
+            key, child_mult = item  # type: ignore[misc]
+            assignment.update(zip(child.out_vars, key))
+            mult *= child_mult
+        return tuple(assignment[v] for v in self.out_vars), mult
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        self._require_open()
+        if self._exhausted:
+            return None
+        if not self.children:
+            if self._first:
+                self._first = False
+                return (), 1
+            return None
+        if self._first:
+            self._first = False
+            return self._emit()
+        # advance the odometer starting from the last child
+        position = len(self.children) - 1
+        while position >= 0:
+            item = self.children[position].next()
+            if item is not None:
+                self._current[position] = item
+                for later in range(position + 1, len(self.children)):
+                    child = self.children[later]
+                    child.close()
+                    child.open(self._ctx)
+                    first = child.next()
+                    if first is None:  # pragma: no cover - cannot happen once primed
+                        self._exhausted = True
+                        return None
+                    self._current[later] = first
+                return self._emit()
+            position -= 1
+        self._exhausted = True
+        return None
+
+    def lookup(self, key: ValueTuple) -> int:
+        assignment = self._key_to_assignment(key)
+        total = 1
+        for child in self.children:
+            child_key = tuple(assignment[v] for v in child.out_vars)
+            total *= child.lookup(child_key)
+            if total == 0:
+                return 0
+        return total
+
+
+class IterateIterator(TreeIterator):
+    """Iterate the root view's matching entries, producing a Product per entry."""
+
+    def __init__(self, tree: ViewTreeNode, free_order: Tuple[str, ...]) -> None:
+        super().__init__(free_order)
+        self.tree = tree
+        self._free_set = frozenset(free_order)
+        self._subtree_vars = tree.variables()
+        self._child_iterators = tuple(
+            build_iterator(child, free_order) for child in tree.children
+        )
+        self._entries: Optional[TypingIterator[Tuple[ValueTuple, int]]] = None
+        self._product: Optional[ProductIterator] = None
+        self._entry_assignment: Assignment = {}
+
+    def open(self, ctx: Mapping[str, object]) -> None:
+        self._set_context(ctx, self._subtree_vars)
+        bound = BoundRelation(self.tree.schema, self.tree.relation())
+        probe = {v: ctx[v] for v in self.tree.schema if v in ctx}
+        self._entries = bound.matching(probe)
+        self._product = None
+
+    def _advance_entry(self) -> bool:
+        assert self._entries is not None
+        item = next(self._entries, None)
+        if item is None:
+            return False
+        tup, _mult = item
+        self._entry_assignment = dict(self._ctx)
+        self._entry_assignment.update(zip(self.tree.schema, tup))
+        product = ProductIterator(self._child_iterators, self.free_order)
+        product.open(self._entry_assignment)
+        self._product = product
+        return True
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        self._require_open()
+        while True:
+            if self._product is None:
+                if not self._advance_entry():
+                    return None
+            assert self._product is not None
+            item = self._product.next()
+            if item is None:
+                self._product = None
+                continue
+            key, mult = item
+            assignment = dict(self._entry_assignment)
+            assignment.update(zip(self._product.out_vars, key))
+            return tuple(assignment[v] for v in self.out_vars), mult
+
+    def lookup(self, key: ValueTuple) -> int:
+        return lookup_multiplicity(
+            self.tree, self._free_set, self._key_to_assignment(key)
+        )
+
+
+class GroundedIterator(TreeIterator):
+    """Ground a heavy indicator and Union the per-key buckets (Figures 13–14)."""
+
+    def __init__(self, tree: ViewTreeNode, free_order: Tuple[str, ...]) -> None:
+        super().__init__(free_order)
+        self.tree = tree
+        self._free_set = frozenset(free_order)
+        self._subtree_vars = tree.variables()
+        self.indicator = next(
+            c for c in tree.children if isinstance(c, IndicatorLeaf)
+        )
+        self.others = tuple(c for c in tree.children if c is not self.indicator)
+        self._union: Optional[UnionIterator] = None
+
+    def open(self, ctx: Mapping[str, object]) -> None:
+        self._set_context(ctx, self._subtree_vars)
+        bound = BoundRelation(self.indicator.schema, self.indicator.relation())
+        probe = {v: ctx[v] for v in self.indicator.schema if v in ctx}
+        buckets: List[_Bucket] = []
+        for key_tuple, _mult in bound.matching(probe):
+            grounded_ctx = dict(ctx)
+            grounded_ctx.update(zip(self.indicator.schema, key_tuple))
+            buckets.append(
+                _Bucket(self.others, grounded_ctx, self.free_order, self._free_set)
+            )
+        self._buckets = buckets
+        self._union = UnionIterator(buckets) if buckets else None
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        self._require_open()
+        if self._union is None:
+            return None
+        return self._union.next()
+
+    def lookup(self, key: ValueTuple) -> int:
+        return lookup_multiplicity(
+            self.tree, self._free_set, self._key_to_assignment(key)
+        )
+
+
+class _Bucket(UnionSource):
+    """One grounded instance of a view tree: the Product of the non-indicator
+    children under a context extended with one heavy key."""
+
+    def __init__(
+        self,
+        children: Sequence[ViewTreeNode],
+        ctx: Assignment,
+        free_order: Tuple[str, ...],
+        free_set: FrozenSet[str],
+    ) -> None:
+        self._children = tuple(children)
+        self._ctx = ctx
+        self._free_set = free_set
+        self._product = ProductIterator(
+            tuple(build_iterator(child, free_order) for child in children),
+            free_order,
+        )
+        self._product.open(ctx)
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        return self._product.next()
+
+    def lookup(self, key: ValueTuple) -> int:
+        assignment = dict(self._ctx)
+        assignment.update(zip(self._product.out_vars, key))
+        total = 1
+        for child in self._children:
+            total *= lookup_multiplicity(child, self._free_set, assignment)
+            if total == 0:
+                return 0
+        return total
+
+
+def build_iterator(
+    tree: ViewTreeNode, free_order: Tuple[str, ...]
+) -> TreeIterator:
+    """Choose the iterator kind for a view-tree node (cases of Figure 13)."""
+    free_set = set(free_order)
+    free_in_subtree = tree.variables() & free_set
+    if tree.is_leaf() or free_in_subtree <= set(tree.schema):
+        return DirectIterator(tree, free_order)
+    if any(isinstance(child, IndicatorLeaf) for child in tree.children):
+        return GroundedIterator(tree, free_order)
+    return IterateIterator(tree, free_order)

@@ -1,0 +1,104 @@
+"""The Union algorithm (Figure 15, after Durand & Strozecki).
+
+Given ``n`` sources that enumerate possibly overlapping sets of tuples over
+the same schema — each with its own per-tuple multiplicity and a constant(ish)
+time ``lookup`` — the union iterator enumerates every *distinct* tuple exactly
+once, with multiplicity equal to the sum of its multiplicities across the
+sources, and with delay bounded by the sum of the sources' delays.
+
+The trick: when the next tuple of the first ``n−1`` sources also occurs in
+the ``n``-th source, output the next tuple of the ``n``-th source instead
+(it is new by construction); the skipped tuple will be produced when the
+``n``-th source reaches it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.data.schema import ValueTuple
+
+
+class UnionSource:
+    """Interface expected from union inputs.
+
+    ``next`` returns ``(key, multiplicity)`` pairs with pairwise-distinct
+    keys, or ``None`` when exhausted; ``lookup`` returns the multiplicity of
+    a key in this source (0 when absent).
+    """
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def lookup(self, key: ValueTuple) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class UnionIterator(UnionSource):
+    """Distinct-tuple enumeration of the union of several sources."""
+
+    def __init__(self, sources: Sequence[UnionSource]) -> None:
+        if not sources:
+            raise ValueError("UnionIterator needs at least one source")
+        self._sources: Tuple[UnionSource, ...] = tuple(sources)
+        if len(self._sources) == 1:
+            self._left: Optional[UnionIterator] = None
+            self._left_sources: Tuple[UnionSource, ...] = ()
+            self._last: UnionSource = self._sources[0]
+        else:
+            self._left = UnionIterator(self._sources[:-1])
+            self._left_sources = self._sources[:-1]
+            self._last = self._sources[-1]
+        self._left_exhausted = False
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: ValueTuple) -> int:
+        """Total multiplicity of ``key`` across all sources."""
+        return sum(source.lookup(key) for source in self._sources)
+
+    def _total_with_left(self, key: ValueTuple, last_mult: int) -> int:
+        return last_mult + sum(source.lookup(key) for source in self._left_sources)
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        if self._left is None:
+            return self._last.next()
+        while not self._left_exhausted:
+            item = self._left.next()
+            if item is None:
+                self._left_exhausted = True
+                break
+            key, left_mult = item
+            last_mult = self._last.lookup(key)
+            if last_mult == 0:
+                return key, left_mult
+            nxt = self._last.next()
+            if nxt is None:
+                # Defensive: the invariant guarantees the last source is not
+                # exhausted while collisions remain; fall back to emitting the
+                # collided tuple with its full multiplicity.
+                return key, left_mult + last_mult
+            last_key, mult = nxt
+            return last_key, self._total_with_left(last_key, mult)
+        nxt = self._last.next()
+        if nxt is None:
+            return None
+        last_key, mult = nxt
+        return last_key, self._total_with_left(last_key, mult)
+
+
+class CallbackSource(UnionSource):
+    """Adapter turning ``next``/``lookup`` callables into a union source."""
+
+    def __init__(
+        self,
+        next_fn: Callable[[], Optional[Tuple[ValueTuple, int]]],
+        lookup_fn: Callable[[ValueTuple], int],
+    ) -> None:
+        self._next_fn = next_fn
+        self._lookup_fn = lookup_fn
+
+    def next(self) -> Optional[Tuple[ValueTuple, int]]:
+        return self._next_fn()
+
+    def lookup(self, key: ValueTuple) -> int:
+        return self._lookup_fn(key)

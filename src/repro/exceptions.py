@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  The exception names mirror the constraints stated
+in the paper (Section 3 of Kara et al., PODS 2020): deletes that would drive a
+multiplicity negative are *rejected*, queries outside the supported fragment
+raise :class:`UnsupportedQueryError`, and schema mismatches between tuples and
+relations raise :class:`SchemaError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SchemaError(ReproError):
+    """A tuple, projection, or join does not match the expected schema."""
+
+
+class RejectedUpdateError(ReproError):
+    """A delete would make a tuple's multiplicity negative.
+
+    The paper's update model (Section 3, "Modeling Updates Using
+    Multiplicities") requires all stored multiplicities to remain strictly
+    positive; a delete of ``m`` copies of a tuple with fewer than ``m``
+    existing copies is rejected.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """The query lies outside the fragment supported by this implementation.
+
+    The engine supports hierarchical conjunctive queries with arbitrary free
+    variables, without repeating relation symbols, and with at least one atom
+    of non-empty schema (the paper's footnotes 1 and 2).
+    """
+
+
+class NotHierarchicalError(UnsupportedQueryError):
+    """The query is not hierarchical (Definition 1 of the paper)."""
+
+
+class UnknownRelationError(ReproError):
+    """An update or lookup referenced a relation not present in the database."""
+
+
+class EnumerationError(ReproError):
+    """The enumeration iterators were driven outside their protocol.
+
+    For example calling ``next`` on an iterator that has not been opened.
+    """
+
+
+class InvariantViolationError(ReproError):
+    """An internal data-structure invariant was violated.
+
+    These errors indicate bugs in the maintenance logic (for example a
+    partition whose heavy and light parts overlap on a key) and are used
+    extensively by the consistency checkers exercised in the test suite.
+    """

@@ -1,0 +1,13 @@
+"""Incremental view maintenance: delta propagation, updates, rebalancing."""
+
+from repro.ivm.delta import delta_from_update, propagate_delta
+from repro.ivm.maintenance import UpdateProcessor
+from repro.ivm.rebalance import MaintenanceDriver, RebalanceStats
+
+__all__ = [
+    "MaintenanceDriver",
+    "RebalanceStats",
+    "UpdateProcessor",
+    "delta_from_update",
+    "propagate_delta",
+]

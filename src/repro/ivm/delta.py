@@ -1,0 +1,83 @@
+"""Delta propagation through a view tree (``Apply``, Figure 17).
+
+A single-tuple (or small batched) change to a leaf relation is propagated
+along the path from that leaf to the root: at each view on the path the
+change is joined with the sibling subtrees' current contents and projected
+onto the view schema (the classical delta rule), then applied to the view.
+
+Leaves are *not* modified here — base relations, light parts, and indicator
+relations are shared across trees and are updated exactly once by the
+maintenance layer before propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.data.schema import Schema, ValueTuple
+from repro.engine.join import BoundRelation, delta_join
+from repro.views.view import LeafNode, ViewNode, ViewTreeNode
+
+Delta = Dict[ValueTuple, int]
+
+
+def propagate_delta(
+    tree: ViewTreeNode,
+    source_name: str,
+    delta_schema: Schema,
+    delta: Mapping[ValueTuple, int],
+) -> Optional[Tuple[Schema, Delta]]:
+    """Propagate a change of the relation ``source_name`` through ``tree``.
+
+    Returns ``(schema, delta)`` describing the induced change at the root of
+    the tree, or ``None`` when the tree does not reference ``source_name``
+    (in which case nothing is modified).  An empty delta short-circuits.
+    """
+    pruned = {tup: mult for tup, mult in delta.items() if mult != 0}
+    if not pruned:
+        return None
+    return _propagate(tree, source_name, tuple(delta_schema), pruned)
+
+
+def _propagate(
+    node: ViewTreeNode,
+    source_name: str,
+    delta_schema: Schema,
+    delta: Delta,
+) -> Optional[Tuple[Schema, Delta]]:
+    if isinstance(node, LeafNode):
+        if node.source_name != source_name:
+            return None
+        # The delta arrives in the stored (positional) order of the relation,
+        # which coincides with the leaf's variable order.
+        return node.schema, dict(delta)
+    assert isinstance(node, ViewNode)
+    child_result = None
+    changed_child = None
+    for child in node.children:
+        result = _propagate(child, source_name, delta_schema, delta)
+        if result is not None:
+            child_result = result
+            changed_child = child
+            break
+    if child_result is None:
+        return None
+    child_schema, child_delta = child_result
+    if not child_delta:
+        return node.schema, {}
+    siblings = [
+        BoundRelation(sibling.schema, sibling.relation())
+        for sibling in node.children
+        if sibling is not changed_child
+    ]
+    view_delta = delta_join(child_schema, child_delta, siblings, node.schema)
+    relation = node.relation()
+    for tup, mult in view_delta.items():
+        if mult != 0:
+            relation.apply_delta(tup, mult)
+    return node.schema, view_delta
+
+
+def delta_from_update(tuple_value: ValueTuple, multiplicity: int) -> Delta:
+    """Build the single-entry delta ``{x → m}`` of the paper's update model."""
+    return {tuple(tuple_value): multiplicity}

@@ -1,0 +1,171 @@
+"""Single-tuple update processing (``UpdateTrees``, Figure 19).
+
+For an update ``δR = {x → m}`` the maintenance layer:
+
+1. captures, for every partition of ``R``, whether the partition key of ``x``
+   existed in ``R`` before the update (new keys start light — this keeps the
+   domain-partition invariant of Definition 11);
+2. applies ``δR`` to the shared base relation exactly once;
+3. propagates ``δR`` through every skew-aware strategy tree and every
+   indicator ``All`` tree that references ``R``;
+4. routes the update into the light parts ``R^S`` whose key is (or becomes)
+   light, propagating the induced change through the trees that reference the
+   light part (skew trees and indicator ``L`` trees);
+5. refreshes the heavy-indicator supports ``∃H`` of the affected triples and
+   propagates any support change through the skew trees.
+
+Rebalancing (threshold maintenance) is handled separately by
+:mod:`repro.ivm.rebalance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.data.database import Database
+from repro.data.partition import Partition
+from repro.data.schema import Schema, ValueTuple
+from repro.data.update import Update
+from repro.exceptions import UnknownRelationError, UnsupportedQueryError
+from repro.ivm.delta import Delta, propagate_delta
+from repro.query.atom import Atom
+from repro.views.indicators import IndicatorTriple
+from repro.views.skew import SkewAwarePlan
+
+
+class UpdateProcessor:
+    """Applies single-tuple updates to a materialized skew-aware plan."""
+
+    def __init__(self, plan: SkewAwarePlan, database: Database) -> None:
+        self.plan = plan
+        self.database = database
+        self.query = plan.query
+        self._atoms_by_relation: Dict[str, Atom] = {}
+        for atom in self.query.atoms:
+            if atom.relation in self._atoms_by_relation:
+                raise UnsupportedQueryError(
+                    "queries with repeating relation symbols are not supported by "
+                    "the dynamic engine (paper footnote 2)"
+                )
+            self._atoms_by_relation[atom.relation] = atom
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _atom_for(self, relation_name: str) -> Atom:
+        try:
+            return self._atoms_by_relation[relation_name]
+        except KeyError as exc:
+            raise UnknownRelationError(
+                f"relation {relation_name!r} does not occur in query {self.query}"
+            ) from exc
+
+    def _triple_key(
+        self, triple: IndicatorTriple, relation_name: str, tup: ValueTuple
+    ) -> ValueTuple:
+        """Project an update tuple onto the triple's key variables."""
+        atom = self._atom_for(relation_name)
+        return tuple(tup[atom.variables.index(v)] for v in triple.keys)
+
+    def _propagate_to_trees(
+        self, source_name: str, schema: Schema, delta: Delta
+    ) -> None:
+        """Propagate a leaf change through every skew-aware strategy tree."""
+        for tree in self.plan.trees_referencing(source_name):
+            propagate_delta(tree, source_name, schema, delta)
+
+    def _propagate_to_light_indicator_trees(
+        self, source_name: str, schema: Schema, delta: Delta
+    ) -> None:
+        for triple in self.plan.indicator_triples:
+            if source_name in triple.light_tree.source_names():
+                propagate_delta(triple.light_tree, source_name, schema, delta)
+
+    def _refresh_indicator(
+        self, triple: IndicatorTriple, key: ValueTuple
+    ) -> None:
+        """Refresh ``∃H`` at ``key`` and propagate any support change."""
+        change = triple.refresh_key(key)
+        if change == 0:
+            return
+        self._propagate_to_trees(
+            triple.exists_heavy.name, triple.keys, {key: change}
+        )
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def apply_update(self, update: Update) -> None:
+        """Process one single-tuple update (Figure 19, without rebalancing)."""
+        relation = self.database.relation(update.relation)
+        self._atom_for(update.relation)
+        delta: Delta = {tuple(update.tuple): update.multiplicity}
+        schema: Schema = relation.schema
+
+        partitions = self.plan.partitions.partitions_of(relation.name)
+        pre_state: Dict[int, Tuple[ValueTuple, bool]] = {}
+        for partition in partitions:
+            key = partition.key_of(update.tuple)
+            pre_state[id(partition)] = (key, partition.base.contains_key(partition.keys, key))
+
+        # (2) the shared base relation absorbs the update exactly once
+        relation.apply_delta(update.tuple, update.multiplicity)
+
+        # (3) strategy trees and indicator All trees referencing the base relation
+        self._propagate_to_trees(relation.name, schema, delta)
+        affected_triples = self.plan.triples_referencing(update.relation)
+        for triple in affected_triples:
+            propagate_delta(triple.all_tree, relation.name, schema, delta)
+
+        # (4) light-part routing
+        updated_light: Set[int] = set()
+        for partition in partitions:
+            key, was_in_base = pre_state[id(partition)]
+            route_to_light = (not was_in_base) or partition.is_light_key(key)
+            if not route_to_light:
+                continue
+            if id(partition.light) in updated_light:
+                continue
+            updated_light.add(id(partition.light))
+            partition.light.apply_delta(update.tuple, update.multiplicity)
+            light_name = partition.light.name
+            self._propagate_to_trees(light_name, schema, delta)
+            self._propagate_to_light_indicator_trees(light_name, schema, delta)
+
+        # (5) heavy-indicator support refresh
+        for triple in affected_triples:
+            key = self._triple_key(triple, update.relation, update.tuple)
+            self._refresh_indicator(triple, key)
+
+    # ------------------------------------------------------------------
+    # batched light-part moves (used by minor rebalancing)
+    # ------------------------------------------------------------------
+    def move_partition_key(
+        self,
+        partition: Partition,
+        key: ValueTuple,
+        to_light: bool,
+        witness_tuple: ValueTuple,
+        relation_name: str,
+    ) -> None:
+        """Move all tuples of one partition key into or out of the light part.
+
+        The deltas applied to the light part are propagated through the skew
+        trees and the indicator ``L`` trees, after which the heavy-indicator
+        supports of the triples fed by this light part are refreshed at the
+        corresponding key (Figure 21).
+        """
+        if to_light:
+            deltas = partition.move_key_to_light(key)
+        else:
+            deltas = partition.move_key_to_heavy(key)
+        if not deltas:
+            return
+        schema = partition.base.schema
+        light_name = partition.light.name
+        self._propagate_to_trees(light_name, schema, deltas)
+        self._propagate_to_light_indicator_trees(light_name, schema, deltas)
+        for triple in self.plan.indicator_triples:
+            if light_name in triple.light_tree.source_names():
+                triple_key = self._triple_key(triple, relation_name, witness_tuple)
+                self._refresh_indicator(triple, triple_key)

@@ -1,0 +1,131 @@
+"""Rebalancing and the ``OnUpdate`` trigger (Section 6.2, Figures 20–22).
+
+The dynamic engine keeps a *threshold base* ``M`` with the size invariant
+``⌊M/4⌋ ≤ N < M`` (Definition 51); the heavy/light threshold is ``M^ε``.
+
+* **Major rebalancing** fires when the invariant breaks (the database doubled
+  or shrank enough): ``M`` is doubled or roughly halved, every partition is
+  strictly repartitioned with the new threshold, and every view is
+  recomputed.  Amortized over Ω(M) updates this costs ``O(N^{(w−1)ε})`` per
+  update (Proposition 25 and Appendix F.4).
+* **Minor rebalancing** fires when one partition key drifts across the loose
+  thresholds of Definition 11: its tuples are moved into or out of the light
+  part and the affected views and indicators are refreshed (Proposition 26).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.data.database import Database
+from repro.data.update import Update
+from repro.engine.materialize import materialize_plan
+from repro.ivm.maintenance import UpdateProcessor
+from repro.views.skew import SkewAwarePlan
+
+
+@dataclass
+class RebalanceStats:
+    """Counters describing rebalancing activity (reported by benchmarks)."""
+
+    updates: int = 0
+    minor_rebalances: int = 0
+    major_rebalances: int = 0
+    moved_to_light: int = 0
+    moved_to_heavy: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "updates": self.updates,
+            "minor_rebalances": self.minor_rebalances,
+            "major_rebalances": self.major_rebalances,
+            "moved_to_light": self.moved_to_light,
+            "moved_to_heavy": self.moved_to_heavy,
+        }
+
+
+class MaintenanceDriver:
+    """The ``OnUpdate`` trigger: update processing plus rebalancing."""
+
+    def __init__(
+        self,
+        plan: SkewAwarePlan,
+        database: Database,
+        epsilon: float,
+        enable_rebalancing: bool = True,
+    ) -> None:
+        self.plan = plan
+        self.database = database
+        self.epsilon = epsilon
+        self.enable_rebalancing = enable_rebalancing
+        self.processor = UpdateProcessor(plan, database)
+        self.stats = RebalanceStats()
+        # Definition 51: the initial threshold base is 2N + 1.
+        self.threshold_base = 2 * database.size + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """The current heavy/light threshold ``M^ε``."""
+        return self.threshold_base ** self.epsilon
+
+    def _size_invariant_holds(self) -> bool:
+        size = self.database.size
+        return (self.threshold_base // 4) <= size < self.threshold_base
+
+    # ------------------------------------------------------------------
+    def on_update(self, update: Update) -> None:
+        """Process one update and rebalance if necessary (Figure 22)."""
+        self.processor.apply_update(update)
+        self.stats.updates += 1
+        if not self.enable_rebalancing:
+            return
+        size = self.database.size
+        if size >= self.threshold_base:
+            self.threshold_base = 2 * self.threshold_base
+            self._major_rebalance()
+            return
+        if size < (self.threshold_base // 4):
+            self.threshold_base = max(1, self.threshold_base // 2 - 1)
+            self._major_rebalance()
+            return
+        self._minor_rebalance(update)
+
+    def apply_stream(self, updates) -> None:
+        """Process a sequence of updates in order."""
+        for update in updates:
+            self.on_update(update)
+
+    # ------------------------------------------------------------------
+    def _major_rebalance(self) -> None:
+        """Figure 20: strictly repartition and recompute every view."""
+        self.stats.major_rebalances += 1
+        materialize_plan(self.plan, self.threshold)
+
+    def _minor_rebalance(self, update: Update) -> None:
+        """Figure 21/22: move one partition key across the heavy/light border."""
+        relation = self.database.relation(update.relation)
+        threshold = self.threshold
+        for partition in self.plan.partitions.partitions_of(relation.name):
+            key = partition.key_of(update.tuple)
+            light_degree = partition.light_degree(key)
+            base_degree = partition.base_degree(key)
+            if light_degree == 0 and 0 < base_degree < 0.5 * threshold:
+                self.stats.minor_rebalances += 1
+                self.stats.moved_to_light += base_degree
+                self.processor.move_partition_key(
+                    partition, key, True, update.tuple, update.relation
+                )
+            elif light_degree >= 1.5 * threshold:
+                self.stats.minor_rebalances += 1
+                self.stats.moved_to_heavy += light_degree
+                self.processor.move_partition_key(
+                    partition, key, False, update.tuple, update.relation
+                )
+
+    # ------------------------------------------------------------------
+    def check_partitions(self) -> None:
+        """Assert the loose partition invariants (used by property tests)."""
+        for partition in self.plan.partitions:
+            partition.check_loose(self.threshold)

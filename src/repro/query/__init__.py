@@ -1,0 +1,40 @@
+"""Query layer: atoms, conjunctive queries, hypergraphs, classification."""
+
+from repro.query.atom import Atom, atom
+from repro.query.classes import (
+    QueryClassification,
+    classify,
+    delta_index,
+    is_delta_i_hierarchical,
+    is_hierarchical,
+    is_q_hierarchical,
+)
+from repro.query.conjunctive import ConjunctiveQuery, query
+from repro.query.hypergraph import (
+    Hypergraph,
+    is_alpha_acyclic,
+    is_free_connex,
+    join_tree,
+    verify_running_intersection,
+)
+from repro.query.parser import format_query, parse_query
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Hypergraph",
+    "QueryClassification",
+    "atom",
+    "classify",
+    "delta_index",
+    "format_query",
+    "is_alpha_acyclic",
+    "is_delta_i_hierarchical",
+    "is_free_connex",
+    "is_hierarchical",
+    "is_q_hierarchical",
+    "join_tree",
+    "parse_query",
+    "query",
+    "verify_running_intersection",
+]

@@ -1,0 +1,151 @@
+"""Classification of conjunctive queries.
+
+Implements the syntactic classes used throughout the paper:
+
+* **hierarchical** (Definition 1): for any two variables, their atom sets are
+  disjoint or one contains the other;
+* **q-hierarchical** ([10], restated in Section 3): hierarchical, and whenever
+  ``atoms(A) ⊂ atoms(B)`` for a free ``A``, then ``B`` is also free;
+* **free-connex**: α-acyclic and still α-acyclic after adding the head atom
+  (delegated to :mod:`repro.query.hypergraph`);
+* **δ_i-hierarchical** (Definition 5): ``i`` is the smallest number such that
+  for every bound variable ``X`` and every atom ``R(Y) ∈ atoms(X)`` there are
+  ``i`` atoms whose schemas together with ``Y`` cover all free variables of
+  ``atoms(X)``.
+
+Proposition 6 (q-hierarchical ⇔ δ₀-hierarchical), Proposition 7 (free-connex
+hierarchical ⇒ δ₀ or δ₁) and Proposition 8 (δ_i ⇔ dynamic width i) are all
+checked in the test suite against these functions and the width module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Optional, Tuple
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.hypergraph import is_alpha_acyclic, is_free_connex
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Definition 1: atom sets of any two variables are disjoint or nested."""
+    variables = sorted(query.variables)
+    atom_sets = {v: frozenset(query.atoms_of(v)) for v in variables}
+    for first, second in combinations(variables, 2):
+        a, b = atom_sets[first], atom_sets[second]
+        if a & b and not (a <= b or b <= a):
+            return False
+    return True
+
+
+def is_q_hierarchical(query: ConjunctiveQuery) -> bool:
+    """q-hierarchical test ([10]).
+
+    Hierarchical, and for every free variable ``A``: if some variable ``B``
+    satisfies ``atoms(A) ⊂ atoms(B)`` then ``B`` must be free.
+    """
+    if not is_hierarchical(query):
+        return False
+    atom_sets = {v: frozenset(query.atoms_of(v)) for v in query.variables}
+    for free_var in query.free_variables:
+        for other in query.variables:
+            if other == free_var:
+                continue
+            if atom_sets[free_var] < atom_sets[other] and other not in query.free_variables:
+                return False
+    return True
+
+
+def _min_atoms_covering(
+    query: ConjunctiveQuery, targets: FrozenSet[str], candidates
+) -> Optional[int]:
+    """Smallest number of candidate atoms whose schemas cover ``targets``.
+
+    Returns ``None`` when no subset of candidates covers the targets (which
+    cannot happen for the δ_i computation on hierarchical queries, but the
+    guard keeps the helper total).
+    """
+    if not targets:
+        return 0
+    candidates = list(candidates)
+    for size in range(1, len(candidates) + 1):
+        for subset in combinations(candidates, size):
+            covered: set = set()
+            for atom in subset:
+                covered.update(atom.variables)
+            if targets <= covered:
+                return size
+    return None
+
+
+def delta_index(query: ConjunctiveQuery) -> int:
+    """The index ``i`` for which the hierarchical query is δ_i-hierarchical.
+
+    Definition 5: the smallest ``i`` such that for each bound variable ``X``
+    and atom ``R(Y) ∈ atoms(X)`` there are ``i`` atoms covering
+    ``free(atoms(X)) − Y``.  By Lemma 34 only atoms of ``X`` can contribute,
+    so the search is restricted to ``atoms(X)``.
+
+    By Proposition 8 this equals the dynamic width of the query, which the
+    test suite asserts against :mod:`repro.widths.dynamic_width`.
+    """
+    worst = 0
+    for bound_var in query.bound_variables:
+        atoms_of_x = query.atoms_of(bound_var)
+        free_in_x = query.free_of_atoms(atoms_of_x)
+        for atom in atoms_of_x:
+            remaining = frozenset(free_in_x - set(atom.variables))
+            needed = _min_atoms_covering(query, remaining, atoms_of_x)
+            if needed is None:
+                needed = _min_atoms_covering(query, remaining, query.atoms)
+            if needed is None:
+                raise AssertionError(
+                    "free variables of a bound variable's atoms could not be covered; "
+                    "is the query hierarchical?"
+                )
+            worst = max(worst, needed)
+    return worst
+
+
+def is_delta_i_hierarchical(query: ConjunctiveQuery, i: int) -> bool:
+    """True when the query is hierarchical with δ-index exactly ``i``."""
+    return is_hierarchical(query) and delta_index(query) == i
+
+
+@dataclass(frozen=True)
+class QueryClassification:
+    """A summary of every class membership relevant to the paper's Figure 2."""
+
+    alpha_acyclic: bool
+    free_connex: bool
+    hierarchical: bool
+    q_hierarchical: bool
+    delta_index: Optional[int]
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        """Human-readable list of class names the query belongs to."""
+        names = ["conjunctive"]
+        if self.alpha_acyclic:
+            names.append("alpha-acyclic")
+        if self.free_connex:
+            names.append("free-connex")
+        if self.hierarchical:
+            names.append("hierarchical")
+            names.append(f"delta_{self.delta_index}-hierarchical")
+        if self.q_hierarchical:
+            names.append("q-hierarchical")
+        return tuple(names)
+
+
+def classify(query: ConjunctiveQuery) -> QueryClassification:
+    """Compute all class memberships of a query at once."""
+    hierarchical = is_hierarchical(query)
+    return QueryClassification(
+        alpha_acyclic=is_alpha_acyclic(query),
+        free_connex=is_free_connex(query),
+        hierarchical=hierarchical,
+        q_hierarchical=is_q_hierarchical(query),
+        delta_index=delta_index(query) if hierarchical else None,
+    )

@@ -1,0 +1,197 @@
+"""Conjunctive queries.
+
+A conjunctive query (CQ) has the form ``Q(F) = R₁(X₁), …, Rₙ(Xₙ)`` (Section 3
+of the paper).  :class:`ConjunctiveQuery` stores the head (free) variables
+and the body atoms and exposes the vocabulary used throughout the paper:
+``vars(Q)``, ``free(Q)``, ``bound(Q)``, ``atoms(Q)``, ``atoms(X)``, whether
+the query is *full*, its connected components, and so on.
+
+Classification predicates (hierarchical, q-hierarchical, free-connex,
+δ_i-hierarchical) live in :mod:`repro.query.classes`; width measures live in
+:mod:`repro.widths`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.schema import Schema
+from repro.exceptions import UnsupportedQueryError
+from repro.query.atom import Atom
+
+
+class ConjunctiveQuery:
+    """A conjunctive query ``Q(free) = atom₁, …, atomₙ``."""
+
+    def __init__(
+        self,
+        head: Iterable[str],
+        atoms: Iterable[Atom],
+        name: str = "Q",
+    ) -> None:
+        self.name = name
+        self.head: Schema = tuple(head)
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        if len(set(self.head)) != len(self.head):
+            raise UnsupportedQueryError(
+                f"query {name!r} repeats a free variable in its head"
+            )
+        if not self.atoms:
+            raise UnsupportedQueryError("a conjunctive query needs at least one atom")
+        all_vars = self.variables
+        missing = set(self.head) - all_vars
+        if missing:
+            raise UnsupportedQueryError(
+                f"free variables {sorted(missing)} do not occur in any atom"
+            )
+
+    # ------------------------------------------------------------------
+    # vocabulary of the paper
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """``vars(Q)``: all variables occurring in the body."""
+        result: set = set()
+        for atom in self.atoms:
+            result.update(atom.variables)
+        return frozenset(result)
+
+    @property
+    def free_variables(self) -> FrozenSet[str]:
+        """``free(Q)``: the head variables, as a set."""
+        return frozenset(self.head)
+
+    @property
+    def bound_variables(self) -> FrozenSet[str]:
+        """``bound(Q) = vars(Q) − free(Q)``."""
+        return self.variables - self.free_variables
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation symbols of the atoms, in body order."""
+        return tuple(atom.relation for atom in self.atoms)
+
+    @property
+    def is_full(self) -> bool:
+        """True when every variable is free."""
+        return self.free_variables == self.variables
+
+    @property
+    def is_boolean(self) -> bool:
+        """True when the query has no free variables."""
+        return not self.head
+
+    def has_repeated_relation_symbols(self) -> bool:
+        """True when two atoms share a relation symbol (self-join)."""
+        names = self.relation_names
+        return len(set(names)) != len(names)
+
+    def atoms_of(self, variable: str) -> Tuple[Atom, ...]:
+        """``atoms(X)``: the atoms whose schema contains ``variable``."""
+        return tuple(atom for atom in self.atoms if atom.contains(variable))
+
+    def atom_for_relation(self, relation: str) -> Optional[Atom]:
+        """Return the atom with the given relation symbol (None if absent)."""
+        for atom in self.atoms:
+            if atom.relation == relation:
+                return atom
+        return None
+
+    def vars_of_atoms(self, atoms: Iterable[Atom]) -> FrozenSet[str]:
+        """Union of the schemas of the given atoms (``vars(atoms(X))``)."""
+        result: set = set()
+        for atom in atoms:
+            result.update(atom.variables)
+        return frozenset(result)
+
+    def free_of_atoms(self, atoms: Iterable[Atom]) -> FrozenSet[str]:
+        """Free variables occurring in the given atoms (``free(atoms(X))``)."""
+        return self.vars_of_atoms(atoms) & self.free_variables
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List["ConjunctiveQuery"]:
+        """Split the query into its connected components.
+
+        Two atoms are connected when they share a variable.  Atoms without
+        variables would each form their own component; such atoms are ruled
+        out by the supported fragment (see :mod:`repro.core.planner`).
+        Each component keeps the head variables it contains.
+        """
+        remaining = list(self.atoms)
+        components: List[List[Atom]] = []
+        while remaining:
+            seed = remaining.pop(0)
+            component = [seed]
+            component_vars = set(seed.variables)
+            changed = True
+            while changed:
+                changed = False
+                still_remaining = []
+                for atom in remaining:
+                    if component_vars & set(atom.variables):
+                        component.append(atom)
+                        component_vars.update(atom.variables)
+                        changed = True
+                    else:
+                        still_remaining.append(atom)
+                remaining = still_remaining
+            components.append(component)
+        result = []
+        for i, component in enumerate(components):
+            component_vars = self.vars_of_atoms(component)
+            head = tuple(v for v in self.head if v in component_vars)
+            suffix = "" if len(components) == 1 else f"_{i}"
+            result.append(
+                ConjunctiveQuery(head, component, name=f"{self.name}{suffix}")
+            )
+        return result
+
+    def restrict_to_atoms(
+        self, atoms: Sequence[Atom], head: Optional[Iterable[str]] = None, name: str = ""
+    ) -> "ConjunctiveQuery":
+        """Return the sub-query over ``atoms`` with the given (or inherited) head.
+
+        Used by the view-tree construction to form the residual queries
+        ``Q_X`` of Figure 11.
+        """
+        atoms = tuple(atoms)
+        atom_vars = self.vars_of_atoms(atoms)
+        if head is None:
+            head_vars: Tuple[str, ...] = tuple(
+                v for v in self.head if v in atom_vars
+            )
+        else:
+            head_vars = tuple(head)
+        return ConjunctiveQuery(head_vars, atoms, name=name or f"{self.name}_sub")
+
+    def with_head(self, head: Iterable[str], name: str = "") -> "ConjunctiveQuery":
+        """Return the same body with a different set of free variables."""
+        return ConjunctiveQuery(tuple(head), self.atoms, name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            set(self.head) == set(other.head)
+            and set(self.atoms) == set(other.atoms)
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.head), frozenset(self.atoms)))
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.atoms)
+        return f"{self.name}({', '.join(self.head)}) = {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConjunctiveQuery({self!s})"
+
+
+def query(head: Sequence[str], *atoms: Atom, name: str = "Q") -> ConjunctiveQuery:
+    """Convenience constructor mirroring the paper's notation."""
+    return ConjunctiveQuery(tuple(head), atoms, name=name)

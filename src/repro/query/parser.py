@@ -1,0 +1,79 @@
+"""A small textual syntax for conjunctive queries.
+
+Queries are written in the paper's notation::
+
+    Q(A, C) = R(A, B), S(B, C)
+    Q()     = R(A, B), S(B)          # Boolean query
+    Q(A, D, E) = R(A,B,C), S(A,B,D), T(A,E)
+
+The parser exists so examples, tests, and benchmarks can state queries
+exactly as they appear in the paper, which makes the reproduction easy to
+audit against the original text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.exceptions import UnsupportedQueryError
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9']*)\s*\(([^()]*)\)\s*")
+_HEAD_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z_0-9']*)\s*\(([^()]*)\)\s*=\s*(.+)$", re.DOTALL
+)
+
+
+def _split_variables(raw: str) -> Tuple[str, ...]:
+    raw = raw.strip()
+    if not raw:
+        return ()
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split the body on commas that are not nested inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query from the paper's textual notation."""
+    match = _HEAD_RE.match(text)
+    if not match:
+        raise UnsupportedQueryError(
+            f"could not parse query {text!r}: expected 'Name(vars) = body'"
+        )
+    name, head_raw, body = match.groups()
+    head = _split_variables(head_raw)
+    atoms: List[Atom] = []
+    for atom_text in _split_atoms(body):
+        atom_match = _ATOM_RE.fullmatch(atom_text)
+        if not atom_match:
+            raise UnsupportedQueryError(
+                f"could not parse atom {atom_text!r} in query {text!r}"
+            )
+        relation, variables_raw = atom_match.groups()
+        atoms.append(Atom(relation, _split_variables(variables_raw)))
+    return ConjunctiveQuery(head, atoms, name=name)
+
+
+def format_query(query: ConjunctiveQuery) -> str:
+    """Format a query back into the textual notation accepted by the parser."""
+    return str(query)

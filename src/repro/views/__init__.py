@@ -1,0 +1,39 @@
+"""View trees: BuildVT / NewVT / AuxView / IndicatorVTs / skew-aware τ."""
+
+from repro.views.build import (
+    DYNAMIC_MODE,
+    STATIC_MODE,
+    aux_view,
+    build_view_tree,
+    new_view_tree,
+)
+from repro.views.indicators import IndicatorTriple, build_indicator_triple
+from repro.views.skew import SkewAwarePlan, build_skew_aware_plan
+from repro.views.view import (
+    IndicatorLeaf,
+    LeafNode,
+    LightPartLeaf,
+    NameGenerator,
+    RelationLeaf,
+    ViewNode,
+    ViewTreeNode,
+)
+
+__all__ = [
+    "DYNAMIC_MODE",
+    "STATIC_MODE",
+    "IndicatorLeaf",
+    "IndicatorTriple",
+    "LeafNode",
+    "LightPartLeaf",
+    "NameGenerator",
+    "RelationLeaf",
+    "SkewAwarePlan",
+    "ViewNode",
+    "ViewTreeNode",
+    "aux_view",
+    "build_indicator_triple",
+    "build_skew_aware_plan",
+    "build_view_tree",
+    "new_view_tree",
+]

@@ -1,0 +1,217 @@
+"""View-tree node classes.
+
+A *view tree* (Section 4 of the paper) is a tree whose leaves reference
+relations (base relations, light parts of partitions, or heavy-indicator
+relations) and whose inner nodes are materialized views defined over the join
+of their children, projected onto the node schema.
+
+The classes here are purely structural: materialization lives in
+:mod:`repro.engine.materialize`, enumeration in :mod:`repro.enumeration`, and
+maintenance in :mod:`repro.ivm`.  Leaves *share* the underlying
+:class:`~repro.data.relation.Relation` objects (base relations, light parts,
+and indicator relations are updated exactly once per update by the
+maintenance layer), whereas inner views are private to their tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.query.atom import Atom
+
+
+class NameGenerator:
+    """Generates unique view names within one query plan."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, itertools.count] = {}
+
+    def fresh(self, base: str) -> str:
+        counter = self._counters.setdefault(base, itertools.count())
+        return f"{base}#{next(counter)}"
+
+
+class ViewTreeNode:
+    """Base class of view-tree nodes."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema: Schema = tuple(schema)
+
+    # -- structural interface ------------------------------------------------
+    @property
+    def children(self) -> Tuple["ViewTreeNode", ...]:
+        return ()
+
+    def relation(self) -> Relation:
+        """The relation holding this node's content (materialized or referenced)."""
+        raise NotImplementedError
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> Iterator["LeafNode"]:
+        """All leaf nodes of the subtree, in left-to-right order."""
+        if isinstance(self, LeafNode):
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def nodes(self) -> Iterator["ViewTreeNode"]:
+        """All nodes of the subtree in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.nodes()
+
+    def views(self) -> Iterator["ViewNode"]:
+        """All inner (materialized) view nodes of the subtree in pre-order."""
+        for node in self.nodes():
+            if isinstance(node, ViewNode):
+                yield node
+
+    def variables(self) -> FrozenSet[str]:
+        """All variables appearing anywhere in the subtree."""
+        result = set(self.schema)
+        for child in self.children:
+            result.update(child.variables())
+        return frozenset(result)
+
+    def source_names(self) -> FrozenSet[str]:
+        """Names of the relations referenced by the leaves of this subtree."""
+        return frozenset(leaf.source_name for leaf in self.leaves())
+
+    def find_leaves(self, source_name: str) -> Tuple["LeafNode", ...]:
+        """Leaves referencing the relation called ``source_name``."""
+        return tuple(
+            leaf for leaf in self.leaves() if leaf.source_name == source_name
+        )
+
+    def pretty(self, indent: int = 0) -> str:
+        """Render the tree as an indented string (used by ``explain`` and docs)."""
+        pad = "  " * indent
+        label = f"{self.name}({', '.join(self.schema)})"
+        lines = [f"{pad}{label}"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, schema={self.schema!r})"
+
+
+class LeafNode(ViewTreeNode):
+    """A leaf referencing a shared relation object.
+
+    ``source_name`` identifies the referenced relation for the maintenance
+    layer; ``schema`` names the columns with the query variables of the atom
+    the leaf stands for (the stored relation may use different column names —
+    the mapping is positional).
+    """
+
+    def __init__(self, name: str, schema: Schema, relation: Relation) -> None:
+        super().__init__(name, schema)
+        self._relation = relation
+
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def source_name(self) -> str:
+        return self._relation.name
+
+    def copy(self) -> "LeafNode":
+        """Leaves are shared by design; copying returns a new node wrapper."""
+        return type(self)(self.name, self.schema, self._relation)
+
+
+class RelationLeaf(LeafNode):
+    """A leaf referencing a base relation through a query atom."""
+
+    def __init__(self, atom: Atom, relation: Relation) -> None:
+        super().__init__(str(atom), atom.variables, relation)
+        self.atom = atom
+
+    def copy(self) -> "RelationLeaf":
+        return RelationLeaf(self.atom, self._relation)
+
+
+class LightPartLeaf(LeafNode):
+    """A leaf referencing the light part ``R^keys`` of a partitioned relation."""
+
+    def __init__(self, atom: Atom, partition) -> None:
+        # `partition` is a repro.data.partition.Partition; typed loosely to
+        # avoid an import cycle with the data layer.
+        super().__init__(
+            f"{partition.light.name}({', '.join(atom.variables)})",
+            atom.variables,
+            partition.light,
+        )
+        self.atom = atom
+        self.partition = partition
+
+    def copy(self) -> "LightPartLeaf":
+        return LightPartLeaf(self.atom, self.partition)
+
+
+class IndicatorLeaf(LeafNode):
+    """A leaf referencing a heavy-indicator relation ``∃H`` (set semantics)."""
+
+    def __init__(self, schema: Schema, relation: Relation) -> None:
+        super().__init__(f"∃{relation.name}", tuple(schema), relation)
+
+    def copy(self) -> "IndicatorLeaf":
+        return IndicatorLeaf(self.schema, self._relation)
+
+
+class ViewNode(ViewTreeNode):
+    """An inner node: a materialized view over the join of its children."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        children: Sequence[ViewTreeNode],
+        is_aux: bool = False,
+    ) -> None:
+        super().__init__(name, schema)
+        self._children: Tuple[ViewTreeNode, ...] = tuple(children)
+        self.is_aux = is_aux
+        self._relation = Relation(name, schema)
+
+    @property
+    def children(self) -> Tuple[ViewTreeNode, ...]:
+        return self._children
+
+    def relation(self) -> Relation:
+        return self._relation
+
+    def reset(self) -> None:
+        """Discard the materialized content (used by major rebalancing)."""
+        self._relation = Relation(self.name, self.schema)
+
+    def copy(self, namer: Optional[NameGenerator] = None) -> "ViewNode":
+        """Deep-copy the inner view structure; leaves stay shared.
+
+        Skew-aware construction assembles several top-level trees from
+        combinations of child strategies; each top-level tree needs private
+        inner views (they receive delta propagation independently) while
+        leaves deliberately reference the same base/light/indicator
+        relations.
+        """
+        new_children = []
+        for child in self._children:
+            if isinstance(child, ViewNode):
+                new_children.append(child.copy(namer))
+            else:
+                new_children.append(child.copy())  # type: ignore[attr-defined]
+        name = namer.fresh(self.name.split("#")[0]) if namer else self.name
+        return ViewNode(name, self.schema, new_children, is_aux=self.is_aux)
+
+
+def subtree_free_variables(node: ViewTreeNode, free: FrozenSet[str]) -> FrozenSet[str]:
+    """Free query variables occurring anywhere in the subtree of ``node``."""
+    return frozenset(node.variables() & free)

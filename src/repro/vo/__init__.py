@@ -1,0 +1,21 @@
+"""Variable orders: canonical construction and free-top transformation."""
+
+from repro.vo.free_top import free_top_order, highest_bound_over_free, restrict
+from repro.vo.variable_order import (
+    AtomNode,
+    VariableNode,
+    VariableOrder,
+    VONode,
+    build_canonical_variable_order,
+)
+
+__all__ = [
+    "AtomNode",
+    "VONode",
+    "VariableNode",
+    "VariableOrder",
+    "build_canonical_variable_order",
+    "free_top_order",
+    "highest_bound_over_free",
+    "restrict",
+]

@@ -1,0 +1,95 @@
+"""Matrix encodings: Example 28 and the OMv-style workload of Proposition 10.
+
+The query ``Q(A, C) = R(A, B), S(B, C)`` evaluated on relations encoding
+Boolean ``n × n`` matrices *is* Boolean matrix multiplication: ``(a, c)`` is
+in the result iff row ``a`` of ``R`` and column ``c`` of ``S`` share a ``B``.
+With ``ε = ½`` the paper's approach spends ``O(N^{3/2})`` preprocessing and
+answers with ``O(N^{1/2})`` delay, where ``N = n²`` — the "weakly Pareto
+optimal" point of Figure 3.
+
+The Online Matrix-Vector (OMv) encoding of Proposition 10 is also provided:
+a fixed matrix in ``R`` and a stream of vectors, each delivered as ``O(n)``
+single-tuple updates to ``S`` followed by an enumeration round.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.update import Update, UpdateStream
+
+
+def random_boolean_matrix(n: int, density: float = 0.2, seed: int = 0) -> np.ndarray:
+    """A random ``n × n`` Boolean matrix with the given density."""
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, n)) < density).astype(np.int64)
+
+
+def matrix_to_pairs(matrix: np.ndarray) -> List[Tuple[int, int]]:
+    """The non-zero positions of a matrix as ``(row, column)`` pairs."""
+    rows, cols = np.nonzero(matrix)
+    return [(int(r), int(c)) for r, c in zip(rows, cols)]
+
+
+def matmul_database(
+    n: int, density: float = 0.2, seed: int = 0
+) -> Tuple[Database, np.ndarray, np.ndarray]:
+    """Database encoding two Boolean matrices for ``Q(A, C) = R(A, B), S(B, C)``.
+
+    Returns ``(database, left_matrix, right_matrix)`` so callers can verify
+    the enumerated result against ``left @ right``.
+    """
+    left = random_boolean_matrix(n, density, seed)
+    right = random_boolean_matrix(n, density, seed + 1)
+    database = Database.from_dict(
+        {
+            "R": (("A", "B"), matrix_to_pairs(left)),
+            "S": (("B", "C"), matrix_to_pairs(right)),
+        }
+    )
+    return database, left, right
+
+
+def expected_product_support(left: np.ndarray, right: np.ndarray) -> set:
+    """The Boolean support of ``left @ right`` as a set of ``(row, col)`` pairs."""
+    product = (left @ right) > 0
+    rows, cols = np.nonzero(product)
+    return {(int(r), int(c)) for r, c in zip(rows, cols)}
+
+
+def omv_matrix_database(n: int, density: float = 0.3, seed: int = 0):
+    """The OMv reduction setup of Proposition 10 for ``Q(A) = R(A, B), S(B)``.
+
+    Returns ``(database, matrix)`` where the database holds the matrix in
+    ``R`` and an empty vector relation ``S``.
+    """
+    matrix = random_boolean_matrix(n, density, seed)
+    database = Database.from_dict(
+        {"R": (("A", "B"), matrix_to_pairs(matrix)), "S": (("B",), [])}
+    )
+    return database, matrix
+
+
+def omv_vector_rounds(
+    n: int, rounds: int, density: float = 0.4, seed: int = 0
+) -> List[Tuple[UpdateStream, UpdateStream, np.ndarray]]:
+    """Per-round update streams encoding the OMv vector arrivals.
+
+    Each round is a triple ``(inserts, deletes, vector)``: the inserts load
+    the next Boolean vector into ``S`` one tuple at a time, the deletes clear
+    it again after the enumeration phase, and ``vector`` is the dense ground
+    truth used to check ``M·v``.
+    """
+    rng = np.random.default_rng(seed)
+    result = []
+    for _ in range(rounds):
+        vector = (rng.random(n) < density).astype(np.int64)
+        positions = [int(i) for i in np.nonzero(vector)[0]]
+        inserts = UpdateStream(Update("S", (i,), 1) for i in positions)
+        deletes = UpdateStream(Update("S", (i,), -1) for i in positions)
+        result.append((inserts, deletes, vector))
+    return result

@@ -1,0 +1,173 @@
+"""Domain-flavoured workloads used by the example applications.
+
+The paper motivates hierarchical queries with analytics over evolving
+relational data (streaming, probabilistic, and provenance settings all build
+on them).  The scenarios below put concrete, realistic column names on the
+query shapes that appear in the paper so the examples read like applications
+rather than synthetic benchmarks:
+
+* **retail** — orders and returns join on a shared product key: the
+  δ₁-hierarchical pattern ``Q(customer, region) = Orders(customer, product),
+  Returns(product, region)`` of Example 28;
+* **social** — a messaging fan-out: users follow channels and channels emit
+  posts, with per-channel activity following a Zipf law (a few channels are
+  extremely hot — exactly the skew the heavy/light split targets);
+* **sensors** — the free-connex aggregation pattern of Example 18 over
+  device registrations, calibrations, and readings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.data.database import Database
+from repro.data.update import Update, UpdateStream
+from repro.workloads.generators import zipf_values
+
+
+def retail_database(
+    orders: int = 2000,
+    returns: int = 1000,
+    products: int = 400,
+    customers: int = 500,
+    regions: int = 20,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> Database:
+    """Orders(customer, product) and Returns(product, region) with hot products."""
+    rng = random.Random(seed)
+    order_products = zipf_values(orders, products, skew, seed)
+    return_products = zipf_values(returns, products, skew, seed + 1)
+    order_rows = [
+        (rng.randrange(customers), product) for product in order_products
+    ]
+    return_rows = [
+        (product, rng.randrange(regions)) for product in return_products
+    ]
+    return Database.from_dict(
+        {
+            "Orders": (("customer", "product"), order_rows),
+            "Returns": (("product", "region"), return_rows),
+        }
+    )
+
+
+RETAIL_QUERY = "Q(A, C) = Orders(A, B), Returns(B, C)"
+"""Customers paired with the regions their purchased products were returned from."""
+
+
+def retail_update_stream(
+    count: int,
+    products: int = 400,
+    customers: int = 500,
+    regions: int = 20,
+    skew: float = 1.1,
+    insert_fraction: float = 0.8,
+    seed: int = 7,
+) -> UpdateStream:
+    """A stream of new orders/returns (and occasional cancellations)."""
+    rng = random.Random(seed)
+    hot_products = zipf_values(count, products, skew, seed + 2)
+    updates: List[Update] = []
+    inserted: List[Update] = []
+    for product in hot_products:
+        if inserted and rng.random() > insert_fraction:
+            victim = inserted.pop(rng.randrange(len(inserted)))
+            updates.append(victim.inverted())
+            continue
+        if rng.random() < 0.6:
+            update = Update("Orders", (rng.randrange(customers), product), 1)
+        else:
+            update = Update("Returns", (product, rng.randrange(regions)), 1)
+        updates.append(update)
+        inserted.append(update)
+    return UpdateStream(updates)
+
+
+def social_database(
+    follows: int = 3000,
+    posts: int = 3000,
+    users: int = 800,
+    channels: int = 300,
+    skew: float = 1.2,
+    seed: int = 0,
+) -> Database:
+    """Follows(user, channel) and Posts(channel, post) with hot channels."""
+    rng = random.Random(seed)
+    follow_channels = zipf_values(follows, channels, skew, seed)
+    post_channels = zipf_values(posts, channels, skew, seed + 3)
+    follow_rows = [(rng.randrange(users), channel) for channel in follow_channels]
+    post_rows = [
+        (channel, rng.randrange(10 * posts)) for channel in post_channels
+    ]
+    return Database.from_dict(
+        {
+            "Follows": (("user", "channel"), follow_rows),
+            "Posts": (("channel", "post"), post_rows),
+        }
+    )
+
+
+SOCIAL_QUERY = "Feed(U, P) = Follows(U, C), Posts(C, P)"
+"""The feed: every (user, post) pair delivered through a followed channel."""
+
+
+def social_post_stream(
+    count: int, channels: int = 300, posts_base: int = 10_000_000, skew: float = 1.2, seed: int = 5
+) -> UpdateStream:
+    """New posts arriving on (mostly hot) channels."""
+    channel_ids = zipf_values(count, channels, skew, seed)
+    return UpdateStream(
+        Update("Posts", (channel, posts_base + i), 1)
+        for i, channel in enumerate(channel_ids)
+    )
+
+
+def sensor_database(
+    devices: int = 200,
+    registrations: int = 1500,
+    calibrations: int = 1500,
+    readings: int = 1500,
+    seed: int = 0,
+) -> Database:
+    """The free-connex pattern of Example 18 with sensor-flavoured columns.
+
+    ``Registrations(device, board, firmware)``, ``Calibrations(device, board,
+    offset)``, ``Readings(device, value)``; the query asks, per device, for
+    the calibration offsets and readings of registered boards.
+    """
+    rng = random.Random(seed)
+    registration_rows = [
+        (rng.randrange(devices), rng.randrange(8), rng.randrange(4))
+        for _ in range(registrations)
+    ]
+    calibration_rows = [
+        (rng.randrange(devices), rng.randrange(8), rng.randrange(50))
+        for _ in range(calibrations)
+    ]
+    reading_rows = [
+        (rng.randrange(devices), rng.randrange(1000)) for _ in range(readings)
+    ]
+    return Database.from_dict(
+        {
+            "Registrations": (("device", "board", "firmware"), registration_rows),
+            "Calibrations": (("device", "board", "offset"), calibration_rows),
+            "Readings": (("device", "value"), reading_rows),
+        }
+    )
+
+
+SENSOR_QUERY = (
+    "Q(A, D, E) = Registrations(A, B, C), Calibrations(A, B, D), Readings(A, E)"
+)
+"""Per device: calibration offsets of registered boards paired with readings."""
+
+
+def sensor_reading_stream(count: int, devices: int = 200, seed: int = 3) -> UpdateStream:
+    """A stream of new sensor readings."""
+    rng = random.Random(seed)
+    return UpdateStream(
+        Update("Readings", (rng.randrange(devices), rng.randrange(1000)), 1)
+        for _ in range(count)
+    )

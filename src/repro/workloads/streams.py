@@ -1,0 +1,134 @@
+"""Update-stream generators.
+
+The dynamic benchmarks and the property-based maintenance tests need
+reproducible sequences of single-tuple inserts and deletes with controllable
+characteristics: pure insert streams (for the "preprocessing = N inserts"
+experiments), mixed insert/delete streams that keep the database size
+roughly stable, skew-shifting streams that force minor rebalancing, and
+growth streams that force major rebalancing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+from repro.data.update import Update, UpdateStream
+from repro.workloads.generators import zipf_values
+
+
+def insert_stream_from_database(database: Database, seed: int = 0) -> UpdateStream:
+    """All tuples of a database as unit inserts, in shuffled order."""
+    rng = random.Random(seed)
+    updates: List[Update] = []
+    for relation in database:
+        for tup, mult in relation.items():
+            updates.append(Update(relation.name, tup, mult))
+    rng.shuffle(updates)
+    return UpdateStream(updates)
+
+
+def mixed_stream(
+    database: Database,
+    count: int,
+    delete_fraction: float = 0.3,
+    domain: int = 64,
+    seed: int = 0,
+) -> UpdateStream:
+    """A stream of random inserts and deletes against an evolving shadow copy.
+
+    Deletes always target tuples that exist at that point of the stream, so
+    the stream can be replayed against any engine without rejections; the
+    shadow copy passed in is *not* modified.
+    """
+    rng = random.Random(seed)
+    shadow = database.copy()
+    names = list(shadow.names())
+    updates: List[Update] = []
+    for _ in range(count):
+        name = rng.choice(names)
+        relation = shadow.relation(name)
+        if len(relation) > 0 and rng.random() < delete_fraction:
+            tup = rng.choice(list(relation.tuples()))
+            updates.append(Update(name, tup, -1))
+            relation.apply_delta(tup, -1)
+        else:
+            tup = tuple(rng.randrange(domain) for _ in relation.schema)
+            updates.append(Update(name, tup, 1))
+            relation.apply_delta(tup, 1)
+    return UpdateStream(updates)
+
+
+def skew_shift_stream(
+    relation_name: str,
+    arity: int,
+    count: int,
+    hot_key: int,
+    key_position: int = 1,
+    value_domain: int = 1024,
+    seed: int = 0,
+) -> UpdateStream:
+    """Inserts that pile onto one join key, then remove them again.
+
+    The first half of the stream inserts ``count // 2`` tuples sharing the
+    same join key (driving the key from light to heavy — minor rebalancing
+    must move it out of the light part); the second half deletes them in
+    reverse order (driving it back to light).
+    """
+    rng = random.Random(seed)
+    inserted: List[ValueTuple] = []
+    updates: List[Update] = []
+    for _ in range(count // 2):
+        tup = [rng.randrange(value_domain) for _ in range(arity)]
+        tup[key_position] = hot_key
+        tup_t = tuple(tup)
+        inserted.append(tup_t)
+        updates.append(Update(relation_name, tup_t, 1))
+    for tup_t in reversed(inserted):
+        updates.append(Update(relation_name, tup_t, -1))
+    return UpdateStream(updates)
+
+
+def growth_stream(
+    relation_name: str,
+    arity: int,
+    count: int,
+    domain: int = 4096,
+    seed: int = 0,
+) -> UpdateStream:
+    """A pure-insert stream that grows one relation (forces major rebalancing)."""
+    rng = random.Random(seed)
+    return UpdateStream(
+        Update(relation_name, tuple(rng.randrange(domain) for _ in range(arity)), 1)
+        for _ in range(count)
+    )
+
+
+def shrink_stream(database: Database, relation_name: str, count: int, seed: int = 0) -> UpdateStream:
+    """Deletes existing tuples of one relation (forces shrink-side rebalancing)."""
+    rng = random.Random(seed)
+    tuples = list(database.relation(relation_name).tuples())
+    rng.shuffle(tuples)
+    return UpdateStream(Update(relation_name, tup, -1) for tup in tuples[:count])
+
+
+def zipf_insert_stream(
+    relation_name: str,
+    count: int,
+    key_domain: int,
+    value_domain: int,
+    exponent: float = 1.0,
+    key_position: int = 1,
+    seed: int = 0,
+) -> UpdateStream:
+    """Inserts whose join-key column follows a Zipf distribution."""
+    rng = random.Random(seed + 13)
+    keys = zipf_values(count, key_domain, exponent, seed)
+    updates = []
+    for key in keys:
+        other = rng.randrange(value_domain)
+        tup = (key, other) if key_position == 0 else (other, key)
+        updates.append(Update(relation_name, tup, 1))
+    return UpdateStream(updates)

@@ -1,0 +1,214 @@
+"""Tests for query classification: hierarchical, q-hierarchical, δ_i.
+
+These tests pin the classifications claimed in the paper for its running
+examples, plus the structural propositions (6, 7, 8, 17) connecting the
+classes to the width measures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.atom import Atom
+from repro.query.classes import (
+    classify,
+    delta_index,
+    is_delta_i_hierarchical,
+    is_hierarchical,
+    is_q_hierarchical,
+)
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.hypergraph import is_free_connex
+from repro.query.parser import parse_query
+from repro.widths.dynamic_width import dynamic_width
+from repro.widths.static_width import static_width
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            # the two examples right below Definition 1
+            ("Q(A, B, C) = R(A, B), S(B, C)", True),
+            ("Q(A, B, C) = R(A, B), S(B, C), T(C)", False),
+            ("Q(A, C) = R(A, B), S(B, C)", True),
+            ("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)", True),
+            ("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)", True),
+            ("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", True),
+            # the triangle query is not hierarchical
+            ("Q(A, B, C) = R(A, B), S(B, C), T(C, A)", False),
+            ("Q(A, B) = R(A, B)", True),
+        ],
+    )
+    def test_hierarchical(self, text, expected):
+        assert is_hierarchical(parse_query(text)) is expected
+
+    def test_free_variables_do_not_matter(self):
+        """Definition 1 only looks at the body."""
+        body = "R(A, B), S(B, C)"
+        for head in ["", "A", "A, B", "A, B, C"]:
+            assert is_hierarchical(parse_query(f"Q({head}) = {body}"))
+
+
+class TestQHierarchical:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            # Example 12: hierarchical but NOT q-hierarchical (bound B, E
+            # dominate free C and F)
+            ("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)", False),
+            # the path query with both endpoints free is not q-hierarchical
+            ("Q(A, C) = R(A, B), S(B, C)", False),
+            # fully bound queries are q-hierarchical when hierarchical
+            ("Q() = R(A, B), S(B)", True),
+            # full hierarchical queries are q-hierarchical
+            ("Q(A, B) = R(A, B), S(B)", True),
+            ("Q(A, B) = R(A, B)", True),
+            # free variable strictly dominated by a bound variable
+            ("Q(A) = R(A, B), S(B)", False),
+            # non-hierarchical queries are never q-hierarchical
+            ("Q(A, B, C) = R(A, B), S(B, C), T(C)", False),
+        ],
+    )
+    def test_q_hierarchical(self, text, expected):
+        assert is_q_hierarchical(parse_query(text)) is expected
+
+
+class TestDeltaIndex:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            # Definition 5 example: Q(Y0..Yi) = R0(X,Y0)...Ri(X,Yi) is δ_i
+            ("Q(Y0) = R0(X, Y0)", 0),
+            ("Q(Y0, Y1) = R0(X, Y0), R1(X, Y1)", 1),
+            ("Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)", 2),
+            ("Q(Y0, Y1, Y2, Y3) = R0(X, Y0), R1(X, Y1), R2(X, Y2), R3(X, Y3)", 3),
+            # Examples 28 and 29 are δ1
+            ("Q(A, C) = R(A, B), S(B, C)", 1),
+            ("Q(A) = R(A, B), S(B)", 1),
+            # Example 19 has dynamic width 3 (update cost O(N^{3ε}) in Example 24)
+            ("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", 3),
+            # q-hierarchical queries are δ0
+            ("Q(A, B) = R(A, B), S(A)", 0),
+            ("Q() = R(A, B), S(B)", 0),
+        ],
+    )
+    def test_delta_index(self, text, expected):
+        assert delta_index(parse_query(text)) == expected
+
+    def test_is_delta_i_hierarchical(self):
+        q = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        assert is_delta_i_hierarchical(q, 1)
+        assert not is_delta_i_hierarchical(q, 0)
+
+
+class TestPropositions:
+    """Structural propositions of the paper, checked on the example catalogue."""
+
+    CATALOGUE = [
+        "Q(A, C) = R(A, B), S(B, C)",
+        "Q(A) = R(A, B), S(B)",
+        "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)",
+        "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)",
+        "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+        "Q(A, B) = R(A, B), S(A)",
+        "Q() = R(A, B), S(B)",
+        "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)",
+        "Q(A, B) = R(A, B)",
+    ]
+
+    @pytest.mark.parametrize("text", CATALOGUE)
+    def test_proposition_6_q_hierarchical_iff_delta0(self, text):
+        q = parse_query(text)
+        assert is_q_hierarchical(q) == (delta_index(q) == 0)
+
+    @pytest.mark.parametrize("text", CATALOGUE)
+    def test_proposition_7_free_connex_implies_delta_at_most_1(self, text):
+        q = parse_query(text)
+        if is_free_connex(q) and is_hierarchical(q):
+            assert delta_index(q) <= 1
+
+    @pytest.mark.parametrize("text", CATALOGUE)
+    def test_proposition_8_delta_index_equals_dynamic_width(self, text):
+        q = parse_query(text)
+        assert delta_index(q) == pytest.approx(dynamic_width(q))
+
+    @pytest.mark.parametrize("text", CATALOGUE)
+    def test_proposition_17_dynamic_width_is_w_or_w_minus_1(self, text):
+        q = parse_query(text)
+        w = static_width(q)
+        d = dynamic_width(q)
+        assert d in (pytest.approx(w), pytest.approx(w - 1)) or (
+            w == 1 and d == pytest.approx(0)
+        )
+
+    @pytest.mark.parametrize("text", CATALOGUE)
+    def test_proposition_3_free_connex_has_static_width_1(self, text):
+        q = parse_query(text)
+        if is_free_connex(q) and is_hierarchical(q):
+            assert static_width(q) == pytest.approx(1)
+
+
+class TestClassifySummary:
+    def test_classify_path_query(self):
+        summary = classify(parse_query("Q(A, C) = R(A, B), S(B, C)"))
+        assert summary.hierarchical
+        assert not summary.free_connex
+        assert not summary.q_hierarchical
+        assert summary.delta_index == 1
+        assert "delta_1-hierarchical" in summary.classes
+
+    def test_classify_non_hierarchical(self):
+        summary = classify(parse_query("Q(A, B, C) = R(A, B), S(B, C), T(C)"))
+        assert not summary.hierarchical
+        assert summary.delta_index is None
+        assert "hierarchical" not in summary.classes
+        assert summary.alpha_acyclic
+
+
+# ----------------------------------------------------------------------
+# random star/hierarchy generator for property-based classification tests
+# ----------------------------------------------------------------------
+@st.composite
+def random_hierarchical_query(draw):
+    """Random hierarchical queries built by nesting variable groups.
+
+    Construction: a root variable shared by all atoms, each atom optionally
+    gets its own private variables and pairs of atoms may share a second-level
+    variable — by construction the atom sets of any two variables are nested
+    or disjoint.
+    """
+    n_atoms = draw(st.integers(1, 4))
+    atoms = []
+    variables = ["X"]
+    groups = draw(
+        st.lists(st.integers(0, max(0, n_atoms - 1)), min_size=n_atoms, max_size=n_atoms)
+    )
+    for i in range(n_atoms):
+        schema = ["X"]
+        group = groups[i]
+        group_var = f"G{group}"
+        if draw(st.booleans()):
+            schema.append(group_var)
+            if group_var not in variables:
+                variables.append(group_var)
+        private = f"P{i}"
+        if draw(st.booleans()):
+            schema.append(private)
+            variables.append(private)
+        atoms.append(Atom(f"R{i}", tuple(schema)))
+    free = [v for v in variables if draw(st.booleans())]
+    return ConjunctiveQuery(tuple(dict.fromkeys(free)), atoms)
+
+
+class TestRandomHierarchicalQueries:
+    @given(random_hierarchical_query())
+    @settings(max_examples=60, deadline=None)
+    def test_generator_produces_hierarchical_queries(self, query):
+        assert is_hierarchical(query)
+
+    @given(random_hierarchical_query())
+    @settings(max_examples=60, deadline=None)
+    def test_proposition_6_and_8_on_random_queries(self, query):
+        assert is_q_hierarchical(query) == (delta_index(query) == 0)
+        assert delta_index(query) == pytest.approx(dynamic_width(query))

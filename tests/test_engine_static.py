@@ -1,0 +1,138 @@
+"""Integration tests: static evaluation equivalence with naive evaluation.
+
+Theorem 2's algorithmic content is that for any ε the skew-aware view trees
+encode exactly the query result; these tests check that equivalence across
+the paper's example queries, all ε corners, skewed and uniform data, and
+randomly generated databases (property-based).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, HierarchicalEngine, StaticEngine
+from repro.engine import evaluate_query_naive
+from repro.exceptions import UnsupportedQueryError
+from repro.query import parse_query
+from repro.workloads import matmul_database, expected_product_support, path_query_database
+from tests.conftest import (
+    PAPER_QUERIES,
+    assert_engine_matches_naive,
+    random_database,
+    schemas_for,
+)
+
+EPSILONS = [0.0, 0.5, 1.0]
+
+
+class TestStaticEquivalence:
+    @pytest.mark.parametrize("name,text", sorted(PAPER_QUERIES.items()))
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_paper_queries_match_naive(self, name, text, epsilon):
+        database = random_database(schemas_for(text), tuples_per_relation=25, seed=hash(name) % 1000)
+        assert_engine_matches_naive(text, database, epsilon=epsilon, mode="static")
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_skewed_path_database(self, epsilon, path_database):
+        assert_engine_matches_naive(
+            "Q(A, C) = R(A, B), S(B, C)", path_database, epsilon=epsilon, mode="static"
+        )
+
+    def test_empty_database(self):
+        database = Database.from_dict({"R": (("A", "B"), []), "S": (("B", "C"), [])})
+        engine = StaticEngine("Q(A, C) = R(A, B), S(B, C)").load(database)
+        assert engine.result() == {}
+
+    def test_zipf_workload(self):
+        database = path_query_database(300, skew=1.2, seed=5)
+        assert_engine_matches_naive(
+            "Q(A, C) = R(A, B), S(B, C)", database, epsilon=0.5, mode="static"
+        )
+
+    def test_matrix_multiplication_support(self):
+        """Example 28: the result support equals the Boolean matrix product."""
+        database, left, right = matmul_database(12, density=0.3, seed=2)
+        engine = StaticEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=0.5).load(database)
+        assert set(engine.result()) == expected_product_support(left, right)
+
+    def test_static_engine_rejects_updates(self):
+        database = Database.from_dict({"R": (("A", "B"), [(1, 2)]), "S": (("B", "C"), [])})
+        engine = StaticEngine("Q(A, C) = R(A, B), S(B, C)").load(database)
+        with pytest.raises(UnsupportedQueryError):
+            engine.update("R", (3, 4), 1)
+
+    def test_threshold_follows_epsilon(self):
+        database = path_query_database(100, seed=1)
+        low = StaticEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=0.0).load(database)
+        high = StaticEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=1.0).load(database)
+        assert low.threshold == pytest.approx(1.0)
+        assert high.threshold == pytest.approx(float(database.size))
+
+    def test_view_size_grows_with_epsilon_on_skewed_data(self):
+        """Higher ε materializes more of the result (light cases cover more keys)."""
+        database = path_query_database(400, skew=0.8, seed=3)
+        sizes = []
+        for epsilon in (0.0, 1.0):
+            engine = StaticEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=epsilon).load(database)
+            sizes.append(engine.view_size())
+        assert sizes[0] <= sizes[1]
+
+    def test_original_database_not_mutated_by_default(self):
+        database = Database.from_dict(
+            {"R": (("A", "B"), [(1, 2)]), "S": (("B", "C"), [(2, 3)])}
+        )
+        before = {name: database.relation(name).as_dict() for name in database.names()}
+        StaticEngine("Q(A, C) = R(A, B), S(B, C)").load(database)
+        after = {name: database.relation(name).as_dict() for name in database.names()}
+        assert before == after
+
+
+# ----------------------------------------------------------------------
+# property-based equivalence on random databases
+# ----------------------------------------------------------------------
+def _rows(arity, max_size=25):
+    return st.lists(
+        st.tuples(*[st.integers(0, 4) for _ in range(arity)]), max_size=max_size
+    )
+
+
+class TestStaticPropertyEquivalence:
+    @given(r_rows=_rows(2), s_rows=_rows(2), epsilon=st.sampled_from(EPSILONS))
+    @settings(max_examples=40, deadline=None)
+    def test_path_query(self, r_rows, s_rows, epsilon):
+        database = Database.from_dict(
+            {"R": (("A", "B"), r_rows), "S": (("B", "C"), s_rows)}
+        )
+        text = "Q(A, C) = R(A, B), S(B, C)"
+        truth = evaluate_query_naive(parse_query(text), database).as_dict()
+        engine = HierarchicalEngine(text, epsilon=epsilon, mode="static").load(database)
+        assert engine.result() == truth
+
+    @given(
+        r_rows=_rows(3, 20),
+        s_rows=_rows(3, 20),
+        t_rows=_rows(2, 20),
+        epsilon=st.sampled_from(EPSILONS),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_example18_query(self, r_rows, s_rows, t_rows, epsilon):
+        database = Database.from_dict(
+            {
+                "R": (("A", "B", "C"), r_rows),
+                "S": (("A", "B", "D"), s_rows),
+                "T": (("A", "E"), t_rows),
+            }
+        )
+        text = "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)"
+        truth = evaluate_query_naive(parse_query(text), database).as_dict()
+        engine = HierarchicalEngine(text, epsilon=epsilon, mode="static").load(database)
+        assert engine.result() == truth
+
+    @given(r_rows=_rows(2), s_rows=_rows(1), epsilon=st.sampled_from(EPSILONS))
+    @settings(max_examples=40, deadline=None)
+    def test_semijoin_query(self, r_rows, s_rows, epsilon):
+        database = Database.from_dict({"R": (("A", "B"), r_rows), "S": (("B",), s_rows)})
+        text = "Q(A) = R(A, B), S(B)"
+        truth = evaluate_query_naive(parse_query(text), database).as_dict()
+        engine = HierarchicalEngine(text, epsilon=epsilon, mode="static").load(database)
+        assert engine.result() == truth

@@ -1,0 +1,105 @@
+"""Smoke tests: every example script runs end to end.
+
+The heavier examples are parameterised down via monkeypatching where needed;
+the goal is to guarantee the examples in the README never rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, monkeypatch, capsys):
+    """Execute an example as __main__ and return its captured stdout."""
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} is missing"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "retail_analytics.py", "matrix_multiplication.py",
+                "social_feed.py", "tradeoff_exploration.py"} <= names
+
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example("quickstart.py", monkeypatch, capsys)
+        assert "Static evaluation" in out
+        assert "Dynamic evaluation" in out
+        assert "result" in out
+
+    def test_matrix_multiplication(self, monkeypatch, capsys):
+        import repro.workloads.matrix as matrix_module
+
+        original = matrix_module.matmul_database
+
+        def small_matmul(n, density=0.15, seed=11):
+            return original(20, density=density, seed=seed)
+
+        monkeypatch.setattr(matrix_module, "matmul_database", small_matmul)
+        # the example imports the symbol from repro.workloads, patch there too
+        import repro.workloads as workloads_module
+
+        monkeypatch.setattr(workloads_module, "matmul_database", small_matmul)
+        out = run_example("matrix_multiplication.py", monkeypatch, capsys)
+        assert "all match" in out
+
+    def test_retail_analytics(self, monkeypatch, capsys):
+        import repro.workloads.scenarios as scenarios
+        import repro.workloads as workloads_module
+
+        original_db = scenarios.retail_database
+        original_stream = scenarios.retail_update_stream
+
+        def small_db(**kwargs):
+            return original_db(orders=300, returns=150, products=60, skew=1.2, seed=1)
+
+        def small_stream(count, **kwargs):
+            return original_stream(60, products=60, seed=2)
+
+        for module in (scenarios, workloads_module):
+            monkeypatch.setattr(module, "retail_database", small_db)
+            monkeypatch.setattr(module, "retail_update_stream", small_stream)
+        out = run_example("retail_analytics.py", monkeypatch, capsys)
+        assert "orders/returns workload" in out
+        assert "distinct (customer, region) pairs" in out
+
+    def test_social_feed(self, monkeypatch, capsys):
+        import repro.workloads.scenarios as scenarios
+        import repro.workloads as workloads_module
+
+        original_db = scenarios.social_database
+        original_stream = scenarios.social_post_stream
+
+        def small_db(**kwargs):
+            return original_db(follows=300, posts=300, users=120, channels=40, skew=1.3, seed=3)
+
+        def small_stream(count, **kwargs):
+            return original_stream(50, channels=40, seed=4)
+
+        for module in (scenarios, workloads_module):
+            monkeypatch.setattr(module, "social_database", small_db)
+            monkeypatch.setattr(module, "social_post_stream", small_stream)
+        out = run_example("social_feed.py", monkeypatch, capsys)
+        assert "social feed" in out
+
+    def test_tradeoff_exploration(self, monkeypatch, capsys):
+        # load the module without running main(), then drive a tiny sweep
+        module_globals = runpy.run_path(
+            str(EXAMPLES_DIR / "tradeoff_exploration.py"), run_name="not_main"
+        )
+        scaling = module_globals["scaling_experiment"]
+        outcome = scaling(
+            module_globals["QUERY"],
+            lambda size: module_globals["path_query_database"](size, skew=1.1, seed=17),
+            sizes=[120, 240],
+            epsilon=0.5,
+            updates_factory=lambda db, size: module_globals["mixed_stream"](db, 20, seed=18),
+            delay_limit=200,
+        )
+        assert "preprocessing" in outcome["fits"]

@@ -1,0 +1,126 @@
+"""Tests for the matrix (Example 28 / OMv) and scenario workloads."""
+
+import numpy as np
+import pytest
+
+from repro import DynamicEngine, HierarchicalEngine, StaticEngine
+from repro.engine import evaluate_query_naive
+from repro.query import parse_query
+from repro.workloads import (
+    RETAIL_QUERY,
+    SENSOR_QUERY,
+    SOCIAL_QUERY,
+    expected_product_support,
+    matmul_database,
+    matrix_to_pairs,
+    omv_matrix_database,
+    omv_vector_rounds,
+    random_boolean_matrix,
+    retail_database,
+    retail_update_stream,
+    sensor_database,
+    sensor_reading_stream,
+    social_database,
+    social_post_stream,
+)
+
+
+class TestMatrixWorkloads:
+    def test_random_boolean_matrix_density(self):
+        matrix = random_boolean_matrix(50, density=0.2, seed=1)
+        assert matrix.shape == (50, 50)
+        assert 0.05 < matrix.mean() < 0.4
+
+    def test_matrix_to_pairs_roundtrip(self):
+        matrix = random_boolean_matrix(10, density=0.3, seed=2)
+        pairs = matrix_to_pairs(matrix)
+        assert len(pairs) == int(matrix.sum())
+        for r, c in pairs:
+            assert matrix[r, c] == 1
+
+    def test_matmul_database_encodes_both_matrices(self):
+        database, left, right = matmul_database(8, density=0.4, seed=3)
+        assert len(database.relation("R")) == int(left.sum())
+        assert len(database.relation("S")) == int(right.sum())
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+    def test_example28_matmul_support(self, epsilon):
+        """Q(A,C) = R(A,B), S(B,C) on matrix data computes the Boolean product."""
+        database, left, right = matmul_database(10, density=0.35, seed=4)
+        engine = StaticEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=epsilon).load(database)
+        assert set(engine.result()) == expected_product_support(left, right)
+
+    def test_example28_multiplicities_count_witnesses(self):
+        """The multiplicity of (a, c) equals the number of shared B values —
+        i.e. the integer matrix product."""
+        database, left, right = matmul_database(8, density=0.5, seed=5)
+        engine = StaticEngine("Q(A, C) = R(A, B), S(B, C)", epsilon=0.5).load(database)
+        product = left @ right
+        for (a, c), mult in engine.result().items():
+            assert mult == product[a, c]
+
+    def test_omv_rounds_reproduce_matrix_vector_products(self):
+        """Proposition 10's reduction: each round of updates + enumeration
+        yields exactly M·v (the support of the result of Q(A) = R(A,B), S(B))."""
+        n = 12
+        database, matrix = omv_matrix_database(n, density=0.3, seed=6)
+        engine = DynamicEngine("Q(A) = R(A, B), S(B)", epsilon=0.5).load(database)
+        for inserts, deletes, vector in omv_vector_rounds(n, rounds=3, seed=7):
+            engine.apply_stream(inserts)
+            support = {a for (a,), _mult in engine.enumerate()}
+            expected = {int(i) for i in np.nonzero((matrix @ vector) > 0)[0]}
+            assert support == expected
+            engine.apply_stream(deletes)
+        assert engine.result() == {}
+
+
+class TestScenarioWorkloads:
+    def test_retail_scenario_end_to_end(self):
+        database = retail_database(orders=300, returns=200, seed=1)
+        engine = DynamicEngine(RETAIL_QUERY, epsilon=0.5).load(database)
+        truth = evaluate_query_naive(parse_query(RETAIL_QUERY), database).as_dict()
+        assert engine.result() == truth
+        stream = retail_update_stream(60, seed=2)
+        shadow = database.copy()
+        for update in stream:
+            engine.apply(update)
+            shadow.relation(update.relation).apply_delta(update.tuple, update.multiplicity)
+        assert engine.result() == evaluate_query_naive(parse_query(RETAIL_QUERY), shadow).as_dict()
+
+    def test_social_scenario_matches_naive(self):
+        database = social_database(follows=400, posts=400, seed=3)
+        engine = HierarchicalEngine(SOCIAL_QUERY, epsilon=0.5).load(database)
+        truth = evaluate_query_naive(parse_query(SOCIAL_QUERY), database).as_dict()
+        assert engine.result() == truth
+
+    def test_social_post_stream_applies_cleanly(self):
+        database = social_database(follows=200, posts=200, seed=4)
+        engine = DynamicEngine(SOCIAL_QUERY, epsilon=0.5).load(database)
+        engine.apply_stream(social_post_stream(50, seed=5))
+        assert engine.rebalance_stats.updates == 50
+
+    def test_sensor_scenario_is_free_connex(self):
+        database = sensor_database(
+            devices=40, registrations=200, calibrations=200, readings=200, seed=6
+        )
+        engine = HierarchicalEngine(SENSOR_QUERY, epsilon=1.0).load(database)
+        assert engine.static_width == pytest.approx(1.0)
+        truth = evaluate_query_naive(parse_query(SENSOR_QUERY), database).as_dict()
+        assert engine.result() == truth
+
+    def test_sensor_reading_stream(self):
+        database = sensor_database(devices=30, registrations=100, calibrations=100, readings=100)
+        engine = DynamicEngine(SENSOR_QUERY, epsilon=0.5).load(database)
+        shadow = database.copy()
+        for update in sensor_reading_stream(40, devices=30, seed=8):
+            engine.apply(update)
+            shadow.relation(update.relation).apply_delta(update.tuple, update.multiplicity)
+        truth = evaluate_query_naive(parse_query(SENSOR_QUERY), shadow).as_dict()
+        assert engine.result() == truth
+
+    def test_scenario_queries_use_domain_column_names(self):
+        """Stored relations use domain column names, queries use variables."""
+        database = retail_database(orders=50, returns=50, seed=9)
+        assert database.relation("Orders").schema == ("customer", "product")
+        engine = HierarchicalEngine(RETAIL_QUERY).load(database)
+        assert engine.result() is not None

@@ -1,0 +1,63 @@
+"""Tests for the textual query syntax."""
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError
+from repro.query.atom import atom
+from repro.query.parser import format_query, parse_query
+
+
+class TestParser:
+    def test_basic_query(self):
+        q = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        assert q.name == "Q"
+        assert q.head == ("A", "C")
+        assert q.atoms == (atom("R", "A", "B"), atom("S", "B", "C"))
+
+    def test_boolean_query(self):
+        q = parse_query("Q() = R(A, B)")
+        assert q.head == ()
+        assert q.is_boolean
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  Q( A ,C )=R( A, B ) ,  S(B,C)  ")
+        assert q.head == ("A", "C")
+        assert len(q.atoms) == 2
+
+    def test_multiline_body(self):
+        q = parse_query("Q(A) = R(A, B),\n      S(B)")
+        assert len(q.atoms) == 2
+
+    def test_digits_and_underscores_in_names(self):
+        q = parse_query("Feed_1(Y0) = R0(X, Y0), R_aux(X)")
+        assert q.name == "Feed_1"
+        assert q.relation_names == ("R0", "R_aux")
+
+    def test_unary_atoms(self):
+        q = parse_query("Q(A) = R(A, B), S(B)")
+        assert q.atoms[1].arity == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a query",
+            "Q(A) <- R(A)",
+            "Q(A) = ",
+            "Q(A) = R(A,",
+            "= R(A)",
+        ],
+    )
+    def test_malformed_queries_rejected(self, bad):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query(bad)
+
+    def test_format_roundtrip(self):
+        text = "Q(A, C) = R(A, B), S(B, C)"
+        assert parse_query(format_query(parse_query(text))) == parse_query(text)
+
+    def test_paper_example_19(self):
+        q = parse_query(
+            "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)"
+        )
+        assert len(q.atoms) == 4
+        assert q.variables == {"A", "B", "C", "D", "E", "F", "G"}

@@ -1,0 +1,140 @@
+"""Tests for heavy/light partitions (Definition 11)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import Partition, PartitionRegistry, light_part_name
+from repro.data.relation import Relation
+from repro.exceptions import InvariantViolationError
+
+
+def make_relation(rows):
+    relation = Relation("R", ("A", "B"))
+    for row in rows:
+        relation.insert(row)
+    return relation
+
+
+class TestStrictPartition:
+    def test_light_part_holds_low_degree_keys(self):
+        relation = make_relation([(1, 0), (2, 0), (3, 0), (4, 1)])
+        partition = Partition(relation, ("B",))
+        partition.strict_repartition(threshold=2)
+        # key 0 has degree 3 >= 2 -> heavy; key 1 has degree 1 < 2 -> light
+        assert partition.is_heavy_key((0,))
+        assert partition.is_light_key((1,))
+        assert partition.light.as_dict() == {(4, 1): 1}
+
+    def test_degree_counts(self):
+        relation = make_relation([(1, 0), (2, 0), (3, 1)])
+        partition = Partition(relation, ("B",))
+        partition.strict_repartition(threshold=10)
+        assert partition.base_degree((0,)) == 2
+        assert partition.light_degree((0,)) == 2
+        assert partition.base_degree((9,)) == 0
+
+    def test_heavy_key_bound(self):
+        """|π_S H| ≤ N / θ: with threshold N^ε at most N^{1−ε} heavy keys."""
+        rows = [(i, i % 5) for i in range(50)]
+        relation = make_relation(rows)
+        partition = Partition(relation, ("B",))
+        threshold = len(relation) ** 0.5
+        partition.strict_repartition(threshold)
+        heavy = list(partition.heavy_keys())
+        assert len(heavy) <= len(relation) / threshold
+
+    def test_check_strict_passes_after_repartition(self):
+        relation = make_relation([(i, i % 3) for i in range(30)])
+        partition = Partition(relation, ("B",))
+        partition.strict_repartition(threshold=4)
+        partition.check_strict(threshold=4)
+
+    def test_check_strict_detects_violation(self):
+        relation = make_relation([(i, 0) for i in range(10)])
+        partition = Partition(relation, ("B",))
+        partition.strict_repartition(threshold=100)  # everything light
+        with pytest.raises(InvariantViolationError):
+            partition.check_strict(threshold=1)  # now the light key is too heavy
+
+    def test_keys_follow_base_schema_order(self):
+        relation = Relation("R", ("A", "B", "C"))
+        partition = Partition(relation, ("C", "A"))
+        assert partition.keys == ("A", "C")
+
+    def test_empty_key_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(make_relation([]), ())
+
+
+class TestKeyMoves:
+    def test_move_to_light_and_back(self):
+        relation = make_relation([(1, 0), (2, 0), (3, 1)])
+        partition = Partition(relation, ("B",))
+        partition.strict_repartition(threshold=1)  # nothing is light
+        assert partition.light_degree((0,)) == 0
+        deltas = partition.move_key_to_light((0,))
+        assert deltas == {(1, 0): 1, (2, 0): 1}
+        assert partition.is_light_key((0,))
+        deltas_back = partition.move_key_to_heavy((0,))
+        assert deltas_back == {(1, 0): -1, (2, 0): -1}
+        assert not partition.is_light_key((0,))
+
+    def test_consistency_check(self):
+        relation = make_relation([(1, 0)])
+        partition = Partition(relation, ("B",))
+        partition.strict_repartition(threshold=5)
+        partition.check_consistency()
+        # manually desynchronise: light part keeps a tuple the base lost
+        relation.delete((1, 0))
+        with pytest.raises(InvariantViolationError):
+            partition.check_consistency()
+
+
+class TestPartitionRegistry:
+    def test_get_or_create_is_idempotent(self):
+        relation = make_relation([(1, 0)])
+        registry = PartitionRegistry()
+        first = registry.get_or_create(relation, ("B",))
+        second = registry.get_or_create(relation, ("B",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_partitions_of(self):
+        r = make_relation([(1, 0)])
+        s = Relation("S", ("B", "C"), {(0, 1): 1})
+        registry = PartitionRegistry()
+        registry.get_or_create(r, ("B",))
+        registry.get_or_create(s, ("B",))
+        registry.get_or_create(r, ("A", "B"))
+        assert len(registry.partitions_of("R")) == 2
+        assert len(registry.partitions_of("S")) == 1
+
+    def test_light_part_name_is_canonical(self):
+        assert light_part_name("R", ("B", "A")) == "R^{A,B}"
+
+
+class TestPartitionProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 5)), min_size=1, max_size=80
+        ),
+        epsilon=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_strict_partition_invariants(self, rows, epsilon):
+        """Definition 11: after a strict repartition with θ = N^ε the strict
+        heavy/light conditions and the union condition hold."""
+        relation = make_relation(rows)
+        partition = Partition(relation, ("B",))
+        threshold = max(1.0, float(len(relation))) ** epsilon
+        partition.strict_repartition(threshold)
+        partition.check_strict(threshold)
+        # union condition: every base tuple is either in the light part (same
+        # multiplicity) or its key is heavy
+        for tup, mult in relation.items():
+            key = partition.key_of(tup)
+            if partition.is_light_key(key):
+                assert partition.light.multiplicity(tup) == mult
+            else:
+                assert partition.light.multiplicity(tup) == 0

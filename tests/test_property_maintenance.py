@@ -1,0 +1,151 @@
+"""Property-based end-to-end test: random hierarchical queries, random data,
+random update sequences — the engine must always agree with naive evaluation.
+
+This is the strongest invariant in the repository: it exercises the whole
+pipeline (classification, variable orders, τ, materialization, enumeration,
+delta propagation, rebalancing) on query shapes the hand-written tests do not
+cover.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, HierarchicalEngine
+from repro.engine import evaluate_query_naive
+from repro.query.atom import Atom
+from repro.query.classes import is_hierarchical
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+@st.composite
+def hierarchical_query_and_workload(draw):
+    """A random hierarchical query plus initial data and an update sequence.
+
+    The query is built over a two-level variable hierarchy: a root variable
+    ``X`` shared by every atom, group variables ``G_j`` shared by the atoms
+    of one group, and per-atom private variables ``P_i`` — which guarantees
+    the hierarchical property by construction.
+    """
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    all_vars = ["X"]
+    for i in range(n_atoms):
+        schema = ["X"]
+        group = draw(st.integers(0, 1))
+        if draw(st.booleans()):
+            group_var = f"G{group}"
+            schema.append(group_var)
+            if group_var not in all_vars:
+                all_vars.append(group_var)
+        if draw(st.booleans()):
+            private = f"P{i}"
+            schema.append(private)
+            all_vars.append(private)
+        atoms.append(Atom(f"R{i}", tuple(schema)))
+    head = tuple(v for v in all_vars if draw(st.booleans()))
+    query = ConjunctiveQuery(head, atoms)
+
+    def rows(atom):
+        return draw(
+            st.lists(
+                st.tuples(*[st.integers(0, 2) for _ in atom.variables]), max_size=8
+            )
+        )
+
+    initial = {atom.relation: (atom.variables, rows(atom)) for atom in atoms}
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_atoms - 1),
+                st.integers(0, 2),
+                st.integers(0, 2),
+                st.integers(0, 2),
+                st.integers(-1, 1).filter(lambda m: m != 0),
+            ),
+            max_size=20,
+        )
+    )
+    epsilon = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    return query, initial, operations, epsilon
+
+
+class TestRandomHierarchicalMaintenance:
+    @given(hierarchical_query_and_workload())
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_engine_tracks_naive_evaluation(self, case):
+        query, initial, operations, epsilon = case
+        assert is_hierarchical(query)
+        database = Database.from_dict(initial)
+        engine = HierarchicalEngine(query, epsilon=epsilon, mode="dynamic")
+        engine.load(database)
+        shadow = database.copy()
+        for atom_index, *values, mult in operations:
+            atom = query.atoms[atom_index]
+            tup = tuple(values[: len(atom.variables)])
+            if shadow.relation(atom.relation).multiplicity(tup) + mult < 0:
+                continue
+            engine.update(atom.relation, tup, mult)
+            shadow.relation(atom.relation).apply_delta(tup, mult)
+        assert engine.result() == evaluate_query_naive(query, shadow).as_dict()
+
+    @given(hierarchical_query_and_workload())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_static_mode_matches_naive_on_final_state(self, case):
+        query, initial, operations, epsilon = case
+        database = Database.from_dict(initial)
+        for atom_index, *values, mult in operations:
+            atom = query.atoms[atom_index]
+            tup = tuple(values[: len(atom.variables)])
+            if database.relation(atom.relation).multiplicity(tup) + mult < 0:
+                continue
+            database.relation(atom.relation).apply_delta(tup, mult)
+        engine = HierarchicalEngine(query, epsilon=epsilon, mode="static")
+        engine.load(database)
+        assert engine.result() == evaluate_query_naive(query, database).as_dict()
+
+    @given(hierarchical_query_and_workload())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_enumeration_produces_distinct_tuples(self, case):
+        query, initial, _operations, epsilon = case
+        database = Database.from_dict(initial)
+        engine = HierarchicalEngine(query, epsilon=epsilon, mode="dynamic")
+        engine.load(database)
+        tuples = [tup for tup, _mult in engine.enumerate()]
+        assert len(tuples) == len(set(tuples))
+        assert all(len(tup) == len(query.head) for tup in tuples)
+
+    @given(hierarchical_query_and_workload())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_partition_and_indicator_invariants_after_updates(self, case):
+        query, initial, operations, epsilon = case
+        database = Database.from_dict(initial)
+        engine = HierarchicalEngine(query, epsilon=epsilon, mode="dynamic")
+        engine.load(database)
+        for atom_index, *values, mult in operations:
+            atom = query.atoms[atom_index]
+            tup = tuple(values[: len(atom.variables)])
+            try:
+                engine.update(atom.relation, tup, mult)
+            except Exception:
+                continue
+        for partition in engine._skew_plan.partitions:
+            partition.check_consistency()
+        for triple in engine._skew_plan.indicator_triples:
+            assert triple.check_support()

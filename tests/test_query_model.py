@@ -1,0 +1,111 @@
+"""Tests for atoms and conjunctive queries."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnsupportedQueryError
+from repro.query.atom import Atom, atom
+from repro.query.conjunctive import ConjunctiveQuery, query
+from repro.query.parser import parse_query
+
+
+class TestAtom:
+    def test_basic_properties(self):
+        a = atom("R", "A", "B")
+        assert a.relation == "R"
+        assert a.variables == ("A", "B")
+        assert a.arity == 2
+        assert a.contains("A") and not a.contains("C")
+        assert a.covers(["A"]) and not a.covers(["A", "C"])
+        assert str(a) == "R(A, B)"
+
+    def test_atoms_are_hashable_value_objects(self):
+        assert atom("R", "A") == Atom("R", ("A",))
+        assert len({atom("R", "A"), Atom("R", ("A",))}) == 1
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            atom("R", "A", "A")
+
+    def test_rename(self):
+        assert atom("R", "A").rename("R2") == atom("R2", "A")
+
+
+class TestConjunctiveQuery:
+    def setup_method(self):
+        self.q = parse_query("Q(A, C) = R(A, B), S(B, C)")
+
+    def test_vocabulary(self):
+        assert self.q.variables == {"A", "B", "C"}
+        assert self.q.free_variables == {"A", "C"}
+        assert self.q.bound_variables == {"B"}
+        assert self.q.relation_names == ("R", "S")
+        assert not self.q.is_full
+        assert not self.q.is_boolean
+
+    def test_atoms_of_variable(self):
+        assert [a.relation for a in self.q.atoms_of("B")] == ["R", "S"]
+        assert [a.relation for a in self.q.atoms_of("A")] == ["R"]
+
+    def test_atom_for_relation(self):
+        assert self.q.atom_for_relation("S").variables == ("B", "C")
+        assert self.q.atom_for_relation("Z") is None
+
+    def test_vars_and_free_of_atoms(self):
+        atoms = self.q.atoms_of("B")
+        assert self.q.vars_of_atoms(atoms) == {"A", "B", "C"}
+        assert self.q.free_of_atoms(atoms) == {"A", "C"}
+
+    def test_full_and_boolean_flags(self):
+        assert parse_query("Q(A, B) = R(A, B)").is_full
+        assert parse_query("Q() = R(A)").is_boolean
+
+    def test_repeated_relation_symbols_detected(self):
+        q = query(("A",), atom("R", "A", "B"), atom("R", "B", "C"))
+        assert q.has_repeated_relation_symbols()
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(UnsupportedQueryError):
+            query(("Z",), atom("R", "A"))
+
+    def test_duplicate_head_variable_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            ConjunctiveQuery(("A", "A"), (atom("R", "A"),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            ConjunctiveQuery(("A",), ())
+
+    def test_equality_ignores_order_and_name(self):
+        q1 = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        q2 = parse_query("P(C, A) = S(B, C), R(A, B)")
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_connected_components(self):
+        q = parse_query("Q(A, C) = R(A, B), S(C, D), T(B, E)")
+        components = q.connected_components()
+        assert len(components) == 2
+        sizes = sorted(len(c.atoms) for c in components)
+        assert sizes == [1, 2]
+        heads = sorted(tuple(c.head) for c in components)
+        assert heads == [("A",), ("C",)]
+
+    def test_single_component(self):
+        assert len(self.q.connected_components()) == 1
+
+    def test_restrict_to_atoms(self):
+        sub = self.q.restrict_to_atoms([self.q.atoms[0]])
+        assert sub.relation_names == ("R",)
+        assert set(sub.head) == {"A"}
+
+    def test_restrict_with_explicit_head(self):
+        sub = self.q.restrict_to_atoms([self.q.atoms[0]], head=("A", "B"))
+        assert set(sub.head) == {"A", "B"}
+
+    def test_with_head(self):
+        boolean = self.q.with_head(())
+        assert boolean.is_boolean
+        assert boolean.atoms == self.q.atoms
+
+    def test_str_roundtrip_through_parser(self):
+        assert parse_query(str(self.q)) == self.q

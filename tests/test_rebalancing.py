@@ -1,0 +1,143 @@
+"""Tests for minor/major rebalancing and the size-invariant bookkeeping."""
+
+import pytest
+
+from repro import Database, DynamicEngine, Update
+from repro.engine import evaluate_query_naive
+from repro.query import parse_query
+from repro.workloads import growth_stream, insert_stream_from_database, skew_shift_stream
+from tests.conftest import random_database, schemas_for
+
+PATH = "Q(A, C) = R(A, B), S(B, C)"
+
+
+def empty_path_database():
+    return Database.from_dict({"R": (("A", "B"), []), "S": (("B", "C"), [])})
+
+
+class TestMajorRebalancing:
+    def test_growth_triggers_major_rebalancing(self):
+        """Starting from an empty database, M = 1, so inserts must double M."""
+        engine = DynamicEngine(PATH, epsilon=0.5).load(empty_path_database())
+        stream = growth_stream("R", 2, 80, domain=40, seed=1)
+        engine.apply_stream(stream)
+        stats = engine.rebalance_stats
+        assert stats.major_rebalances >= 3
+        # size invariant ⌊M/4⌋ ≤ N < M holds after the stream
+        size = engine.database.size
+        base = engine._driver.threshold_base
+        assert base // 4 <= size < base
+
+    def test_shrink_triggers_major_rebalancing(self):
+        database = random_database(schemas_for(PATH), tuples_per_relation=60, seed=5, domain=50)
+        engine = DynamicEngine(PATH, epsilon=0.5).load(database)
+        # delete almost everything: the database must fall below ⌊M/4⌋
+        deletions = [
+            Update(name, tup, -mult)
+            for name in ("R", "S")
+            for tup, mult in list(database.relation(name).items())
+        ]
+        for update in deletions[: len(deletions) - 2]:
+            engine.apply(update)
+        assert engine.rebalance_stats.major_rebalances >= 1
+        size = engine.database.size
+        base = engine._driver.threshold_base
+        assert base // 4 <= size < base
+
+    def test_results_stay_correct_across_major_rebalances(self):
+        query = parse_query(PATH)
+        engine = DynamicEngine(PATH, epsilon=0.5).load(empty_path_database())
+        shadow = empty_path_database()
+        stream = growth_stream("R", 2, 50, domain=6, seed=2)
+        extra = growth_stream("S", 2, 50, domain=6, seed=3)
+        for r_update, s_update in zip(stream, extra):
+            for update in (r_update, s_update):
+                engine.apply(update)
+                shadow.relation(update.relation).apply_delta(update.tuple, update.multiplicity)
+        assert engine.rebalance_stats.major_rebalances >= 3
+        assert engine.result() == evaluate_query_naive(query, shadow).as_dict()
+
+    def test_partitions_strict_after_major_rebalance(self):
+        engine = DynamicEngine(PATH, epsilon=0.5).load(empty_path_database())
+        engine.apply_stream(growth_stream("R", 2, 64, domain=8, seed=4))
+        # right after the last major rebalancing the loose invariant must hold
+        engine._driver.check_partitions()
+
+
+class TestMinorRebalancing:
+    def test_hot_key_moves_to_heavy_and_back(self):
+        database = Database.from_dict(
+            {
+                "R": (("A", "B"), [(a, a) for a in range(30)]),
+                "S": (("B", "C"), [(b, b) for b in range(30)]),
+            }
+        )
+        engine = DynamicEngine(PATH, epsilon=0.5).load(database)
+        stream = skew_shift_stream("R", 2, 60, hot_key=0, key_position=1, seed=6)
+        query = parse_query(PATH)
+        shadow = database.copy()
+        for update in stream:
+            engine.apply(update)
+            shadow.relation(update.relation).apply_delta(update.tuple, update.multiplicity)
+        stats = engine.rebalance_stats
+        assert stats.moved_to_heavy > 0
+        assert stats.moved_to_light > 0
+        assert engine.result() == evaluate_query_naive(query, shadow).as_dict()
+        engine._driver.check_partitions()
+
+    def test_indicator_supports_stay_consistent(self):
+        database = Database.from_dict(
+            {
+                "R": (("A", "B"), [(a, a % 4) for a in range(40)]),
+                "S": (("B", "C"), [(b % 4, b) for b in range(40)]),
+            }
+        )
+        engine = DynamicEngine(PATH, epsilon=0.5).load(database)
+        stream = skew_shift_stream("R", 2, 40, hot_key=1, key_position=1, seed=8)
+        for update in stream:
+            engine.apply(update)
+            for triple in engine._skew_plan.indicator_triples:
+                assert triple.check_support()
+
+    def test_rebalancing_disabled_skips_all_rebalances(self):
+        engine = DynamicEngine(PATH, epsilon=0.5, enable_rebalancing=False).load(
+            empty_path_database()
+        )
+        engine.apply_stream(growth_stream("R", 2, 60, domain=6, seed=9))
+        stats = engine.rebalance_stats
+        assert stats.major_rebalances == 0
+        assert stats.minor_rebalances == 0
+
+    def test_epsilon_zero_has_threshold_one(self):
+        """With ε = 0 the threshold is 1: every existing key is heavy."""
+        database = random_database(schemas_for(PATH), tuples_per_relation=20, seed=3)
+        engine = DynamicEngine(PATH, epsilon=0.0).load(database)
+        assert engine.threshold == pytest.approx(1.0)
+        for partition in engine._skew_plan.partitions:
+            assert len(partition.light) == 0
+
+    def test_epsilon_one_keeps_everything_light_on_uniform_data(self):
+        database = Database.from_dict(
+            {
+                "R": (("A", "B"), [(a, a) for a in range(20)]),
+                "S": (("B", "C"), [(b, b) for b in range(20)]),
+            }
+        )
+        engine = DynamicEngine(PATH, epsilon=1.0).load(database)
+        for partition in engine._skew_plan.partitions:
+            assert len(partition.light) == len(partition.base)
+
+
+class TestRebalanceStats:
+    def test_stats_dictionary_shape(self):
+        engine = DynamicEngine(PATH, epsilon=0.5).load(empty_path_database())
+        engine.update("R", (1, 2), 1)
+        stats = engine.rebalance_stats.as_dict()
+        assert set(stats) == {
+            "updates",
+            "minor_rebalances",
+            "major_rebalances",
+            "moved_to_light",
+            "moved_to_heavy",
+        }
+        assert stats["updates"] == 1

@@ -1,0 +1,208 @@
+"""Unit and property tests for relations and secondary indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Index, Relation
+from repro.exceptions import RejectedUpdateError, SchemaError
+
+
+class TestRelationBasics:
+    def test_empty_relation(self):
+        relation = Relation("R", ("A", "B"))
+        assert len(relation) == 0
+        assert relation.multiplicity((1, 2)) == 0
+        assert (1, 2) not in relation
+
+    def test_insert_and_lookup(self):
+        relation = Relation("R", ("A", "B"))
+        relation.insert((1, 2))
+        relation.insert((1, 2), 2)
+        assert relation.multiplicity((1, 2)) == 3
+        assert len(relation) == 1
+        assert relation.total_multiplicity() == 3
+
+    def test_delete_to_zero_removes_tuple(self):
+        relation = Relation("R", ("A",))
+        relation.insert((1,), 2)
+        relation.delete((1,), 2)
+        assert (1,) not in relation
+        assert len(relation) == 0
+
+    def test_over_delete_is_rejected(self):
+        relation = Relation("R", ("A",))
+        relation.insert((1,), 1)
+        with pytest.raises(RejectedUpdateError):
+            relation.delete((1,), 2)
+        # the failed delete must not change the state
+        assert relation.multiplicity((1,)) == 1
+
+    def test_delete_absent_tuple_is_rejected(self):
+        relation = Relation("R", ("A",))
+        with pytest.raises(RejectedUpdateError):
+            relation.delete((5,))
+
+    def test_arity_mismatch_raises(self):
+        relation = Relation("R", ("A", "B"))
+        with pytest.raises(SchemaError):
+            relation.insert((1,))
+
+    def test_constructor_with_tuples(self):
+        relation = Relation("R", ("A",), {(1,): 2, (2,): 1})
+        assert relation.multiplicity((1,)) == 2
+        assert len(relation) == 2
+
+    def test_set_multiplicity(self):
+        relation = Relation("R", ("A",))
+        relation.set_multiplicity((1,), 5)
+        assert relation.multiplicity((1,)) == 5
+        relation.set_multiplicity((1,), 0)
+        assert (1,) not in relation
+
+    def test_copy_is_independent(self):
+        relation = Relation("R", ("A",), {(1,): 1})
+        clone = relation.copy()
+        clone.insert((2,))
+        assert (2,) not in relation
+        assert clone.multiplicity((1,)) == 1
+
+    def test_merge(self):
+        left = Relation("R", ("A",), {(1,): 1, (2,): 2})
+        right = Relation("R", ("A",), {(2,): 1, (3,): 4})
+        left.merge(right)
+        assert left.as_dict() == {(1,): 1, (2,): 3, (3,): 4}
+
+    def test_merge_schema_mismatch(self):
+        left = Relation("R", ("A",))
+        right = Relation("S", ("A", "B"))
+        with pytest.raises(SchemaError):
+            left.merge(right)
+
+    def test_project_sums_multiplicities(self):
+        relation = Relation("R", ("A", "B"), {(1, 2): 1, (1, 3): 2})
+        projected = relation.project(("A",))
+        assert projected.as_dict() == {(1,): 3}
+
+    def test_clear(self):
+        relation = Relation("R", ("A",), {(1,): 1})
+        relation.ensure_index(("A",))
+        relation.clear()
+        assert len(relation) == 0
+        assert relation.slice_size(("A",), (1,)) == 0
+
+
+class TestIndexes:
+    def make_relation(self):
+        relation = Relation("R", ("A", "B", "C"))
+        for a in range(3):
+            for b in range(2):
+                relation.insert((a, b, a + b))
+        return relation
+
+    def test_slice_returns_matching_tuples(self):
+        relation = self.make_relation()
+        rows = set(relation.slice(("A",), (1,)))
+        assert rows == {(1, 0, 1), (1, 1, 2)}
+
+    def test_slice_size_constant_time_semantics(self):
+        relation = self.make_relation()
+        assert relation.slice_size(("A",), (0,)) == 2
+        assert relation.slice_size(("A",), (9,)) == 0
+
+    def test_distinct_keys(self):
+        relation = self.make_relation()
+        assert set(relation.distinct_keys(("B",))) == {(0,), (1,)}
+
+    def test_contains_key(self):
+        relation = self.make_relation()
+        assert relation.contains_key(("A", "B"), (2, 1))
+        assert not relation.contains_key(("A", "B"), (2, 5))
+
+    def test_index_maintained_under_updates(self):
+        relation = self.make_relation()
+        relation.ensure_index(("A",))
+        relation.insert((7, 7, 7))
+        assert relation.slice_size(("A",), (7,)) == 1
+        relation.delete((7, 7, 7))
+        assert relation.slice_size(("A",), (7,)) == 0
+
+    def test_index_created_after_data_is_consistent(self):
+        relation = self.make_relation()
+        assert relation.slice_size(("C",), (1,)) == 2
+
+    def test_index_key_normalisation(self):
+        relation = self.make_relation()
+        # requesting (B, A) or (A, B) must address the same index
+        relation.ensure_index(("B", "A"))
+        assert relation.has_index(("A", "B"))
+
+    def test_index_on_non_subset_raises(self):
+        relation = self.make_relation()
+        with pytest.raises(SchemaError):
+            relation.ensure_index(("Z",))
+
+    def test_index_class_directly(self):
+        index = Index(("A", "B"), ("B",))
+        index.add((1, 2))
+        index.add((3, 2))
+        assert set(index.group((2,))) == {(1, 2), (3, 2)}
+        assert index.group_size((2,)) == 2
+        index.remove((1, 2))
+        assert index.group_size((2,)) == 1
+        index.remove((3, 2))
+        assert not index.contains_key((2,))
+        assert index.num_keys() == 0
+
+
+@st.composite
+def _update_sequences(draw):
+    """Sequences of (tuple, delta) pairs with bounded domains."""
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                st.integers(-2, 3).filter(lambda d: d != 0),
+            ),
+            max_size=40,
+        )
+    )
+    return operations
+
+
+class TestRelationProperties:
+    @given(_update_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_relation_agrees_with_reference_counter(self, operations):
+        """The relation behaves like a plain dict counter with rejection."""
+        relation = Relation("R", ("A", "B"))
+        relation.ensure_index(("A",))
+        reference = {}
+        for tup, delta in operations:
+            expected = reference.get(tup, 0) + delta
+            if expected < 0:
+                with pytest.raises(RejectedUpdateError):
+                    relation.apply_delta(tup, delta)
+                continue
+            relation.apply_delta(tup, delta)
+            if expected == 0:
+                reference.pop(tup, None)
+            else:
+                reference[tup] = expected
+        assert relation.as_dict() == reference
+        # the index must agree with a recomputed grouping
+        for key in {t[:1] for t in reference}:
+            expected_group = {t for t in reference if t[:1] == key}
+            assert set(relation.slice(("A",), key)) == expected_group
+
+    @given(_update_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_total_multiplicity_matches_reference(self, operations):
+        relation = Relation("R", ("A", "B"))
+        reference = {}
+        for tup, delta in operations:
+            if reference.get(tup, 0) + delta < 0:
+                continue
+            relation.apply_delta(tup, delta)
+            reference[tup] = reference.get(tup, 0) + delta
+        assert relation.total_multiplicity() == sum(v for v in reference.values())

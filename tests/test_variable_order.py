@@ -1,0 +1,140 @@
+"""Tests for canonical variable orders and the free-top transformation."""
+
+import pytest
+
+from repro.exceptions import NotHierarchicalError, UnsupportedQueryError
+from repro.query.parser import parse_query
+from repro.vo.free_top import free_top_order, highest_bound_over_free, restrict
+from repro.vo.variable_order import (
+    AtomNode,
+    VariableNode,
+    build_canonical_variable_order,
+)
+
+PAPER_QUERIES = [
+    "Q(A, C) = R(A, B), S(B, C)",
+    "Q(A) = R(A, B), S(B)",
+    "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)",
+    "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)",
+    "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+    "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)",
+    "Q(A, B) = R(A, B), S(A)",
+    "Q() = R(A, B), S(B)",
+    "Q(A, C) = R(A, B), S(C, D)",
+]
+
+
+class TestCanonicalConstruction:
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_canonical_order_is_valid_and_canonical(self, text):
+        query = parse_query(text)
+        order = build_canonical_variable_order(query)
+        assert order.is_valid()
+        assert order.is_canonical()
+        assert order.variables() == query.variables
+        assert set(order.atoms()) == set(query.atoms)
+
+    def test_non_hierarchical_query_rejected(self):
+        with pytest.raises(NotHierarchicalError):
+            build_canonical_variable_order(
+                parse_query("Q(A, C) = R(A, B), S(B, C), T(C)")
+            )
+
+    def test_empty_schema_atom_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            build_canonical_variable_order(parse_query("Q(A) = R(A), S()"))
+
+    def test_disconnected_query_yields_forest(self):
+        order = build_canonical_variable_order(
+            parse_query("Q(A, C) = R(A, B), S(C, D)")
+        )
+        assert len(order.roots) == 2
+
+    def test_example18_structure(self):
+        """Figure 9: root A; B below A with children C and D's atoms; E below A."""
+        query = parse_query("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)")
+        order = build_canonical_variable_order(query)
+        root = order.roots[0]
+        assert isinstance(root, VariableNode) and root.variable == "A"
+        child_vars = {c.variable for c in root.variable_children()}
+        assert child_vars == {"B", "E"}
+        assert order.ancestors("B") == ("A",)
+        assert set(order.subtree_variables("B")) == {"B", "C", "D"}
+        assert {a.relation for a in order.subtree_atoms("B")} == {"R", "S"}
+
+    def test_path_query_structure(self):
+        """For Q(A,C) = R(A,B), S(B,C) the bound join variable B is the root."""
+        order = build_canonical_variable_order(parse_query("Q(A, C) = R(A, B), S(B, C)"))
+        root = order.roots[0]
+        assert root.variable == "B"
+        assert {c.variable for c in root.variable_children()} == {"A", "C"}
+
+    def test_dep_equals_ancestors_on_canonical_orders(self):
+        query = parse_query(
+            "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)"
+        )
+        order = build_canonical_variable_order(query)
+        for node in order.iter_variable_nodes():
+            assert order.dep(node.variable) == frozenset(node.ancestors())
+
+    def test_has_sibling(self):
+        query = parse_query("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)")
+        order = build_canonical_variable_order(query)
+        assert order.has_sibling("B")
+        assert order.has_sibling("E")
+        assert not order.has_sibling("A")
+
+    def test_pretty_output_contains_all_nodes(self):
+        order = build_canonical_variable_order(parse_query("Q(A) = R(A, B), S(B)"))
+        rendered = order.pretty()
+        for token in ["A", "B", "R(A, B)", "S(B)"]:
+            assert token in rendered
+
+
+class TestFreeTopTransformation:
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_free_top_order_is_valid_and_free_top(self, text):
+        """Lemma 33: free-top(canonical ω) is a valid free-top variable order."""
+        query = parse_query(text)
+        canonical = build_canonical_variable_order(query)
+        transformed = free_top_order(canonical, query)
+        assert transformed.is_valid()
+        assert transformed.is_free_top()
+        assert transformed.variables() == query.variables
+        assert set(transformed.atoms()) == set(query.atoms)
+
+    def test_canonical_order_not_always_free_top(self):
+        query = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        canonical = build_canonical_variable_order(query)
+        assert not canonical.is_free_top()
+        assert free_top_order(canonical, query).is_free_top()
+
+    def test_q_hierarchical_canonical_is_already_free_top(self):
+        query = parse_query("Q(A, B) = R(A, B), S(A)")
+        canonical = build_canonical_variable_order(query)
+        assert canonical.is_free_top()
+
+    def test_highest_bound_over_free(self):
+        query = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        canonical = build_canonical_variable_order(query)
+        nodes = highest_bound_over_free(canonical, query.free_variables)
+        assert [n.variable for n in nodes] == ["B"]
+
+    def test_restrict_removes_variables_and_keeps_atoms(self):
+        query = parse_query("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)")
+        canonical = build_canonical_variable_order(query)
+        root = canonical.roots[0]
+        restricted_roots = restrict(root, frozenset({"A", "B"}))
+        assert len(restricted_roots) == 1
+        kept_vars = set()
+        stack = list(restricted_roots)
+        atoms = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, AtomNode):
+                atoms.append(node.atom)
+            else:
+                kept_vars.add(node.variable)
+                stack.extend(node.children)
+        assert kept_vars == {"A", "B"}
+        assert len(atoms) == 3

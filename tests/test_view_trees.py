@@ -1,0 +1,225 @@
+"""Tests for view-tree construction: BuildVT, NewVT, AuxView, IndicatorVTs, τ."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.partition import PartitionRegistry
+from repro.query.parser import parse_query
+from repro.views.build import (
+    DYNAMIC_MODE,
+    STATIC_MODE,
+    build_view_tree,
+    make_light_part_leaf_factory,
+    make_relation_leaf_factory,
+    new_view_tree,
+)
+from repro.views.indicators import build_indicator_triple
+from repro.views.skew import build_skew_aware_plan
+from repro.views.view import (
+    IndicatorLeaf,
+    LightPartLeaf,
+    NameGenerator,
+    RelationLeaf,
+    ViewNode,
+)
+from repro.vo.variable_order import build_canonical_variable_order
+from tests.conftest import random_database, schemas_for
+
+
+def make_setup(query_text, seed=0, size=20):
+    query = parse_query(query_text)
+    database = random_database(schemas_for(query_text), tuples_per_relation=size, seed=seed)
+    order = build_canonical_variable_order(query)
+    return query, database, order
+
+
+class TestNewViewTree:
+    def test_collapses_single_child_with_same_schema(self):
+        query, database, order = make_setup("Q(A, B) = R(A, B)")
+        leaf = RelationLeaf(query.atoms[0], database.relation("R"))
+        namer = NameGenerator()
+        tree = new_view_tree("V", ("A", "B"), [leaf], namer)
+        assert tree is leaf
+
+    def test_creates_view_over_multiple_children(self):
+        query, database, order = make_setup("Q(A) = R(A, B), S(B)")
+        leaves = [
+            RelationLeaf(query.atoms[0], database.relation("R")),
+            RelationLeaf(query.atoms[1], database.relation("S")),
+        ]
+        tree = new_view_tree("V", ("B",), leaves, NameGenerator())
+        assert isinstance(tree, ViewNode)
+        assert tree.schema == ("B",)
+        assert len(tree.children) == 2
+
+
+class TestBuildViewTree:
+    def test_example18_static_views(self):
+        """Figure 9 / Example 18: static BuildVT creates V_C(A,B), V_B(A,D), V_A(A)."""
+        query, database, order = make_setup(
+            "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)"
+        )
+        factory = make_relation_leaf_factory(database, query)
+        tree = build_view_tree(
+            "V", order.roots[0], query.free_variables, STATIC_MODE, factory, NameGenerator()
+        )
+        schemas = sorted(set(view.schema for view in tree.views()))
+        assert ("A",) in schemas          # V_A(A)
+        assert ("A", "D") in schemas      # V_B(A, D)
+        assert ("A", "B") in schemas      # V_C(A, B)
+        # no auxiliary views in static mode
+        assert not any(view.is_aux for view in tree.views())
+
+    def test_example18_dynamic_adds_aux_views(self):
+        """Figure 9: the dynamic case adds V'_B(A) and T'(A)."""
+        query, database, order = make_setup(
+            "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)"
+        )
+        factory = make_relation_leaf_factory(database, query)
+        tree = build_view_tree(
+            "V", order.roots[0], query.free_variables, DYNAMIC_MODE, factory, NameGenerator()
+        )
+        aux_schemas = [view.schema for view in tree.views() if view.is_aux]
+        assert aux_schemas.count(("A",)) == 2
+
+    def test_leaves_reference_shared_relations(self):
+        query, database, order = make_setup("Q(A) = R(A, B), S(B)")
+        factory = make_relation_leaf_factory(database, query)
+        tree = build_view_tree(
+            "V", order.roots[0], query.free_variables, STATIC_MODE, factory, NameGenerator()
+        )
+        leaves = {leaf.source_name: leaf for leaf in tree.leaves()}
+        assert leaves["R"].relation() is database.relation("R")
+        assert leaves["S"].relation() is database.relation("S")
+
+    def test_light_factory_creates_partitions(self):
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(B, C)")
+        registry = PartitionRegistry()
+        factory = make_light_part_leaf_factory(database, registry, ("B",))
+        tree = build_view_tree(
+            "L", order.roots[0], frozenset({"B"}), STATIC_MODE, factory, NameGenerator()
+        )
+        assert len(registry) == 2
+        assert all(isinstance(leaf, LightPartLeaf) for leaf in tree.leaves())
+
+
+class TestIndicatorTriples:
+    def test_triple_structure_for_path_query(self):
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(B, C)")
+        registry = PartitionRegistry()
+        base_factory = make_relation_leaf_factory(database, query)
+        light_factory = make_light_part_leaf_factory(database, registry, ("B",))
+        triple = build_indicator_triple(
+            order.roots[0], base_factory, light_factory, DYNAMIC_MODE, NameGenerator()
+        )
+        assert triple.keys == ("B",)
+        assert triple.relation_names == {"R", "S"}
+        assert triple.all_tree.schema == ("B",)
+        assert triple.light_tree.schema == ("B",)
+
+    def test_support_check_on_materialized_triple(self):
+        from repro.engine.materialize import materialize_indicator_triple
+
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(B, C)", size=30)
+        registry = PartitionRegistry()
+        base_factory = make_relation_leaf_factory(database, query)
+        light_factory = make_light_part_leaf_factory(database, registry, ("B",))
+        triple = build_indicator_triple(
+            order.roots[0], base_factory, light_factory, DYNAMIC_MODE, NameGenerator()
+        )
+        for partition in registry:
+            partition.strict_repartition(threshold=2)
+        materialize_indicator_triple(triple)
+        assert triple.check_support()
+
+
+class TestSkewAwarePlan:
+    def test_free_connex_query_gets_single_tree(self):
+        """Free-connex residual queries short-circuit to one BuildVT tree."""
+        query, database, order = make_setup(
+            "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)"
+        )
+        plan = build_skew_aware_plan(query, order, database, STATIC_MODE)
+        assert len(plan.component_trees) == 1
+        assert len(plan.component_trees[0]) == 1
+        assert not plan.indicator_triples
+
+    def test_path_query_has_light_and_heavy_strategies(self):
+        """Example 28 / Figure 23: one light tree, one heavy tree, one indicator."""
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(B, C)")
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        trees = plan.component_trees[0]
+        assert len(trees) == 2
+        assert len(plan.indicator_triples) == 1
+        assert len(plan.partitions) == 2  # R^B and S^B
+        indicator_leaves = [
+            leaf
+            for tree in trees
+            for leaf in tree.leaves()
+            if isinstance(leaf, IndicatorLeaf)
+        ]
+        assert len(indicator_leaves) == 1
+
+    def test_example19_produces_three_strategies_and_two_indicators(self):
+        """Figure 12: light-A, heavy-A/light-AB, heavy-A/heavy-AB trees."""
+        query, database, order = make_setup(
+            "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)"
+        )
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        trees = plan.component_trees[0]
+        assert len(trees) == 3
+        assert len(plan.indicator_triples) == 2
+        keys = sorted(triple.keys for triple in plan.indicator_triples)
+        assert keys == [("A",), ("A", "B")]
+        # partitions: R,S,T,U on A plus R,S on (A,B)
+        assert len(plan.partitions) == 6
+
+    def test_proposition_20_leaf_relations_cover_all_atoms(self):
+        """Every strategy tree joins one leaf per query atom (base or light part)."""
+        query, database, order = make_setup(
+            "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)"
+        )
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        for tree in plan.all_trees():
+            non_indicator = [
+                leaf for leaf in tree.leaves() if not isinstance(leaf, IndicatorLeaf)
+            ]
+            atoms_covered = sorted(
+                leaf.atom.relation for leaf in non_indicator  # type: ignore[attr-defined]
+            )
+            assert atoms_covered == sorted(a.relation for a in query.atoms)
+
+    def test_q_hierarchical_query_has_no_indicators_in_dynamic_mode(self):
+        query, database, order = make_setup("Q(A, B) = R(A, B), S(A)")
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        assert not plan.indicator_triples
+        assert len(plan.all_trees()) == 1
+
+    def test_non_free_connex_but_q_hierarchical_static_split(self):
+        """Q(A) = R(A,B), S(B) is free-connex: static mode needs no indicators,
+        dynamic mode partitions on B (Example 29 / Figure 24)."""
+        query, database, order = make_setup("Q(A) = R(A, B), S(B)")
+        static_plan = build_skew_aware_plan(query, order, database, STATIC_MODE)
+        dynamic_plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        assert not static_plan.indicator_triples
+        assert len(static_plan.all_trees()) == 1
+        assert len(dynamic_plan.indicator_triples) == 1
+        assert len(dynamic_plan.all_trees()) == 2
+
+    def test_trees_referencing(self):
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(B, C)")
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        assert len(plan.trees_referencing("R")) >= 1
+        assert plan.trees_referencing("does-not-exist") == ()
+
+    def test_describe_mentions_strategies_and_indicators(self):
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(B, C)")
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        description = plan.describe()
+        assert "strategy tree" in description
+        assert "indicator" in description
+
+    def test_disconnected_query_has_one_tree_list_per_component(self):
+        query, database, order = make_setup("Q(A, C) = R(A, B), S(C, D)")
+        plan = build_skew_aware_plan(query, order, database, DYNAMIC_MODE)
+        assert len(plan.component_trees) == 2

@@ -1,0 +1,123 @@
+"""Tests for edge covers and the static/dynamic width measures."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.widths.edge_cover import (
+    fractional_edge_cover,
+    integral_edge_cover,
+    rho,
+    rho_star,
+)
+from repro.widths.dynamic_width import dynamic_width, dynamic_width_profile
+from repro.widths.static_width import static_width, static_width_profile
+
+
+class TestEdgeCovers:
+    def test_single_atom_cover(self):
+        q = parse_query("Q(A, B) = R(A, B)")
+        assert rho_star(q, {"A", "B"}) == pytest.approx(1.0)
+        assert rho(q, {"A", "B"}) == 1
+
+    def test_empty_target_set(self):
+        q = parse_query("Q(A) = R(A, B), S(B)")
+        assert rho_star(q, set()) == 0.0
+        assert rho(q, set()) == 0
+
+    def test_two_disjoint_atoms_needed(self):
+        q = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        assert rho_star(q, {"A", "C"}) == pytest.approx(2.0)
+        assert rho(q, {"A", "C"}) == 2
+
+    def test_uncoverable_variable_raises(self):
+        q = parse_query("Q(A) = R(A, B)")
+        with pytest.raises(ValueError):
+            rho_star(q, {"Z"})
+        with pytest.raises(ValueError):
+            rho(q, {"Z"})
+
+    def test_fractional_weights_are_a_cover(self):
+        q = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        value, weights = fractional_edge_cover(q.atoms, {"A", "B", "C"})
+        assert value == pytest.approx(2.0)
+        for variable in ("A", "B", "C"):
+            covered = sum(w for a, w in weights.items() if variable in a.variables)
+            assert covered >= 1.0 - 1e-6
+
+    def test_integral_cover_returns_chosen_atoms(self):
+        q = parse_query("Q(A, C) = R(A, B), S(B, C)")
+        size, chosen = integral_edge_cover(q.atoms, {"A", "C"})
+        assert size == 2
+        assert {a.relation for a in chosen} == {"R", "S"}
+
+    def test_lemma_30_on_paper_queries(self):
+        """ρ* = ρ for hierarchical queries (Lemma 30), on several variable sets."""
+        catalogue = [
+            "Q(A, C) = R(A, B), S(B, C)",
+            "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)",
+            "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+            "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)",
+        ]
+        for text in catalogue:
+            q = parse_query(text)
+            variable_sets = [q.free_variables, q.variables, q.bound_variables]
+            for variables in variable_sets:
+                if not variables:
+                    continue
+                assert rho_star(q, variables) == pytest.approx(rho(q, variables))
+
+    def test_fractional_can_beat_integral_on_non_hierarchical(self):
+        """The triangle query has ρ* = 3/2 < ρ = 2 — showing the LP is real."""
+        q = parse_query("Q(A, B, C) = R(A, B), S(B, C), T(C, A)")
+        assert rho_star(q, {"A", "B", "C"}) == pytest.approx(1.5)
+        assert rho(q, {"A", "B", "C"}) == 2
+
+
+class TestStaticWidth:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            # Example 28: w = 2 (preprocessing O(N^{1+ε}))
+            ("Q(A, C) = R(A, B), S(B, C)", 2.0),
+            # Example 29 / free-connex queries: w = 1 (Proposition 3)
+            ("Q(A) = R(A, B), S(B)", 1.0),
+            ("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)", 1.0),
+            ("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)", 1.0),
+            # Example 19: preprocessing O(N^{1+2ε}) -> w = 3
+            ("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", 3.0),
+            # star query with 3 branches all free below the bound centre
+            ("Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)", 3.0),
+            # q-hierarchical queries
+            ("Q(A, B) = R(A, B), S(A)", 1.0),
+            ("Q() = R(A, B), S(B)", 1.0),
+        ],
+    )
+    def test_static_width(self, text, expected):
+        assert static_width(parse_query(text)) == pytest.approx(expected)
+
+    def test_profile_identifies_expensive_variable(self):
+        profile = static_width_profile(parse_query("Q(A, C) = R(A, B), S(B, C)"))
+        assert profile["B"] == pytest.approx(2.0)
+        assert max(profile.values()) == pytest.approx(2.0)
+
+
+class TestDynamicWidth:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Q(A, C) = R(A, B), S(B, C)", 1.0),
+            ("Q(A) = R(A, B), S(B)", 1.0),
+            ("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)", 1.0),
+            ("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", 3.0),
+            ("Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)", 2.0),
+            ("Q(A, B) = R(A, B), S(A)", 0.0),
+            ("Q() = R(A, B), S(B)", 0.0),
+        ],
+    )
+    def test_dynamic_width(self, text, expected):
+        assert dynamic_width(parse_query(text)) == pytest.approx(expected)
+
+    def test_profile_contains_variable_atom_pairs(self):
+        profile = dynamic_width_profile(parse_query("Q(A, C) = R(A, B), S(B, C)"))
+        assert ("B", "R") in profile and ("B", "S") in profile
+        assert max(profile.values()) == pytest.approx(1.0)

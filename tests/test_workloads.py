@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators and update streams."""
+
+import pytest
+
+from repro.data.update import UpdateStream
+from repro.workloads import (
+    bounded_degree_database,
+    example19_database,
+    free_connex_database,
+    growth_stream,
+    heavy_hitter_pairs,
+    insert_stream_from_database,
+    mixed_stream,
+    path_query_database,
+    shrink_stream,
+    skew_shift_stream,
+    star_query_database,
+    uniform_pairs,
+    zipf_insert_stream,
+    zipf_pairs,
+    zipf_values,
+)
+
+
+class TestGenerators:
+    def test_uniform_pairs_deterministic(self):
+        assert uniform_pairs(10, 5, seed=3) == uniform_pairs(10, 5, seed=3)
+        assert uniform_pairs(10, 5, seed=3) != uniform_pairs(10, 5, seed=4)
+
+    def test_zipf_values_range_and_skew(self):
+        values = zipf_values(2000, 50, exponent=1.5, seed=1)
+        assert all(0 <= v < 50 for v in values)
+        counts = {v: values.count(v) for v in set(values)}
+        most_common = max(counts.values())
+        assert most_common > len(values) / 50  # far above the uniform share
+
+    def test_zipf_exponent_zero_is_roughly_uniform(self):
+        values = zipf_values(3000, 10, exponent=0.0, seed=2)
+        counts = [values.count(v) for v in range(10)]
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_zipf_pairs_key_position(self):
+        first = zipf_pairs(50, 5, 100, seed=1, key_position=0)
+        second = zipf_pairs(50, 5, 100, seed=1, key_position=1)
+        assert all(pair[0] < 5 for pair in first)
+        assert all(pair[1] < 5 for pair in second)
+
+    def test_heavy_hitter_pairs_concentrate_mass(self):
+        pairs = heavy_hitter_pairs(
+            1000, heavy_keys=2, heavy_fraction=0.6, key_domain=500, value_domain=100, seed=0
+        )
+        hot = sum(1 for _value, key in pairs if key < 2)
+        assert hot > 500
+
+    def test_path_query_database_shape(self):
+        db = path_query_database(200, skew=1.0, seed=1)
+        assert set(db.names()) == {"R", "S"}
+        assert db.relation("R").schema == ("A", "B")
+        assert 0 < len(db.relation("R")) <= 200
+
+    def test_star_query_database(self):
+        db = star_query_database(100, branches=3, seed=2)
+        assert set(db.names()) == {"R0", "R1", "R2"}
+
+    def test_free_connex_database(self):
+        db = free_connex_database(150, seed=3)
+        assert set(db.names()) == {"R", "S", "T"}
+        assert db.relation("R").schema == ("A", "B", "C")
+
+    def test_example19_database(self):
+        db = example19_database(100, seed=4)
+        assert set(db.names()) == {"R", "S", "T", "U"}
+
+    def test_bounded_degree_database_respects_degree(self):
+        degree = 3
+        db = bounded_degree_database(90, degree, seed=5)
+        r = db.relation("R")
+        for key in r.distinct_keys(("B",)):
+            assert r.slice_size(("B",), key) <= degree
+
+
+class TestStreams:
+    def make_db(self):
+        return path_query_database(60, seed=7)
+
+    def test_insert_stream_covers_database(self):
+        db = self.make_db()
+        stream = insert_stream_from_database(db, seed=1)
+        assert len(stream) == sum(len(r) for r in db)
+        assert all(u.is_insert for u in stream)
+
+    def test_mixed_stream_is_replayable(self):
+        """Deletes in the stream always target tuples present at that point."""
+        db = self.make_db()
+        stream = mixed_stream(db, 120, delete_fraction=0.4, seed=3)
+        shadow = db.copy()
+        for update in stream:
+            shadow.relation(update.relation).apply_delta(update.tuple, update.multiplicity)
+
+    def test_mixed_stream_does_not_mutate_input(self):
+        db = self.make_db()
+        before = {name: db.relation(name).as_dict() for name in db.names()}
+        mixed_stream(db, 50, seed=4)
+        after = {name: db.relation(name).as_dict() for name in db.names()}
+        assert before == after
+
+    def test_skew_shift_stream_is_balanced(self):
+        stream = skew_shift_stream("R", 2, 30, hot_key=5, seed=1)
+        inserts, deletes = stream.inserts(), stream.deletes()
+        assert len(inserts) == len(deletes) == 15
+        assert all(u.tuple[1] == 5 for u in stream)
+
+    def test_growth_and_shrink_streams(self):
+        assert all(u.is_insert for u in growth_stream("R", 2, 10, seed=2))
+        db = self.make_db()
+        deletes = shrink_stream(db, "R", 10, seed=3)
+        assert all(u.is_delete for u in deletes)
+        assert len(deletes) == 10
+
+    def test_zipf_insert_stream(self):
+        stream = zipf_insert_stream("S", 200, key_domain=10, value_domain=100, seed=5)
+        assert len(stream) == 200
+        assert all(u.relation == "S" for u in stream)
+
+    def test_streams_are_update_streams(self):
+        assert isinstance(growth_stream("R", 2, 5), UpdateStream)
