@@ -1,0 +1,27 @@
+# Developer entry points.  Every target works from a fresh checkout without
+# `pip install -e .` because PYTHONPATH is pointed at the src/ layout.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-batch docs-check install-dev
+
+## Tier-1 verification: the full test suite, fail-fast.
+test:
+	$(PY) -m pytest -x -q
+
+## Quick benchmark sanity pass: the batched-ingestion benchmark at 1/5 scale.
+bench-smoke:
+	REPRO_BENCH_SCALE=0.2 $(PY) -m pytest benchmarks/bench_batch_updates.py -q
+
+## Full-scale batched-ingestion benchmark (writes benchmarks/results/).
+bench-batch:
+	$(PY) -m pytest benchmarks/bench_batch_updates.py -q
+
+## Fail if any public module under src/repro/ lacks a module docstring.
+docs-check:
+	$(PY) tools/check_docstrings.py
+
+## Editable install (after which PYTHONPATH=src is no longer needed).
+install-dev:
+	$(PY) -m pip install -e .

@@ -1,0 +1,144 @@
+"""Batched update ingestion: per-tuple throughput vs. batch size.
+
+The batched maintenance path (``HierarchicalEngine.apply_batch``) amortizes
+per-update overhead — plan scans, light-routing pre-state capture, indicator
+refreshes, and the rebalance check — across a whole consolidated batch, and
+propagates one grouped delta per view tree instead of one per tuple.  This
+module measures per-tuple throughput on the Figure 5 dynamic workload (the
+path query over a skewed database with a mixed insert/delete stream) at
+batch sizes {1, 10, 100, 1000}, against the single-update path, and repeats
+the batch-size sweep for the baseline engines so the comparison stays
+apples-to-apples.
+
+The recorded table asserts the headline claim: per-tuple throughput at batch
+size 1000 is at least 2× the throughput at batch size 1, with the final
+query result identical to the sequential replay.
+"""
+
+import time
+
+import pytest
+
+from repro import HierarchicalEngine, UpdateStream
+from repro.baselines import FirstOrderIVMEngine, NaiveRecomputeEngine
+from repro.workloads import mixed_stream, path_query_database
+from benchmarks.conftest import make_batch_cycler, scaled
+
+PATH_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+SIZE = scaled(1000)
+UPDATES = max(scaled(2000), 2 * SIZE)
+BATCH_SIZES = (1, 10, 100, 1000)
+
+
+def _ingest_in_batches(engine_factory, database, stream, batch_size):
+    """Load a fresh engine and time batched ingestion of the whole stream."""
+    engine = engine_factory()
+    engine.load(database)
+    started = time.perf_counter()
+    for batch in stream.batches(batch_size):
+        engine.apply_batch(batch)
+    elapsed = time.perf_counter() - started
+    return engine, elapsed
+
+
+@pytest.fixture(scope="module")
+def batch_throughput_rows(figure_report):
+    database = path_query_database(SIZE, skew=1.2, seed=101)
+    stream = mixed_stream(database, UPDATES, seed=102, domain=SIZE)
+
+    rows = []
+    results = {}
+    # sequential single-update reference
+    engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5)
+    engine.load(database)
+    started = time.perf_counter()
+    engine.apply_stream(stream)
+    sequential_s = time.perf_counter() - started
+    results["sequential"] = engine.result()
+    rows.append(
+        {
+            "path": "apply_stream (single-update)",
+            "batch_size": 1,
+            "total_s": sequential_s,
+            "per_tuple_us": sequential_s / len(stream) * 1e6,
+            "tuples_per_s": len(stream) / sequential_s,
+        }
+    )
+    for batch_size in BATCH_SIZES:
+        engine, elapsed = _ingest_in_batches(
+            lambda: HierarchicalEngine(PATH_QUERY, epsilon=0.5),
+            database,
+            stream,
+            batch_size,
+        )
+        results[batch_size] = engine.result()
+        rows.append(
+            {
+                "path": "apply_batch",
+                "batch_size": batch_size,
+                "total_s": elapsed,
+                "per_tuple_us": elapsed / len(stream) * 1e6,
+                "tuples_per_s": len(stream) / elapsed,
+            }
+        )
+    base = rows[1]["tuples_per_s"]
+    for row in rows:
+        row["speedup_vs_batch1"] = row["tuples_per_s"] / base
+    figure_report.record(
+        "Batched ingestion: IVM^eps eps=0.5 on the Figure 5 dynamic workload",
+        rows,
+    )
+
+    # every path must agree with the sequential replay, bit for bit
+    for batch_size in BATCH_SIZES:
+        assert results[batch_size] == results["sequential"]
+
+    # Baselines ingest a shorter prefix of the same stream (full recompute at
+    # batch size 1 would dominate the whole benchmark run) and must all agree
+    # with each other on the final result.
+    baseline_stream = UpdateStream(list(stream)[: scaled(300)])
+    baseline_rows = []
+    baseline_results = []
+    for name, factory in {
+        "first-order IVM": lambda: FirstOrderIVMEngine(PATH_QUERY),
+        "recompute": lambda: NaiveRecomputeEngine(PATH_QUERY),
+    }.items():
+        for batch_size in (1, 100, 1000):
+            engine, elapsed = _ingest_in_batches(
+                factory, database, baseline_stream, batch_size
+            )
+            baseline_results.append(engine.result())
+            baseline_rows.append(
+                {
+                    "engine": name,
+                    "batch_size": batch_size,
+                    "total_s": elapsed,
+                    "per_tuple_us": elapsed / len(baseline_stream) * 1e6,
+                    "tuples_per_s": len(baseline_stream) / elapsed,
+                }
+            )
+    assert all(result == baseline_results[0] for result in baseline_results)
+    figure_report.record(
+        "Batched ingestion: baselines on the same workload", baseline_rows
+    )
+    return rows
+
+
+def test_batch_1000_at_least_2x_batch_1(batch_throughput_rows, benchmark):
+    benchmark(lambda: None)
+    by_size = {
+        row["batch_size"]: row
+        for row in batch_throughput_rows
+        if row["path"] == "apply_batch"
+    }
+    assert by_size[1000]["tuples_per_s"] >= 2.0 * by_size[1]["tuples_per_s"]
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_ingest_per_size(benchmark, batch_size, batch_throughput_rows):
+    database = path_query_database(scaled(600), skew=1.2, seed=105)
+    engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5)
+    engine.load(database)
+    benchmark(
+        make_batch_cycler(engine, "R", 2, database.size, batch_size, seed=106)
+    )

@@ -85,6 +85,45 @@ def make_update_cycler(engine, relation: str, arity: int, domain: int, seed: int
     return one_update
 
 
+def make_batch_cycler(
+    engine, relation: str, arity: int, domain: int, batch_size: int, seed: int = 0
+):
+    """A zero-argument callable applying one safe consolidated batch per call.
+
+    The batched analogue of :func:`make_update_cycler`: each call builds a
+    batch of ``batch_size`` alternating fresh inserts and deletes of tuples
+    inserted by *previous* batches and ingests it through ``apply_batch``.
+    Deleting only pre-batch tuples matters: an insert/delete pair of the
+    same tuple inside one batch would cancel during consolidation, and the
+    benchmark would be timing empty batches.  After the first (insert-only)
+    call the database size stays roughly constant across rounds.
+    """
+    import random
+
+    from repro.data.update import Update, UpdateBatch
+
+    rng = random.Random(seed)
+    inserted: List[tuple] = []
+    state = {"i": 0}
+
+    def one_batch() -> None:
+        batch = UpdateBatch()
+        deletable = len(inserted)  # tuples that predate this batch
+        for _ in range(batch_size):
+            index = state["i"]
+            state["i"] += 1
+            if deletable > 0 and index % 2 == 1:
+                deletable -= 1
+                batch.add(Update(relation, inserted.pop(0), -1))
+            else:
+                tup = tuple(rng.randrange(domain) for _ in range(arity))
+                inserted.append(tup)
+                batch.add(Update(relation, tup, 1))
+        engine.apply_batch(batch)
+
+    return one_batch
+
+
 @pytest.fixture(scope="module")
 def figure_report(request) -> FigureReport:
     """One report collector per benchmark module."""

@@ -11,7 +11,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Database, DynamicEngine, HierarchicalEngine, StaticEngine
+from repro import Database, DynamicEngine, HierarchicalEngine, StaticEngine, Update, UpdateStream
 
 
 def static_evaluation() -> None:
@@ -69,6 +69,35 @@ def dynamic_evaluation() -> None:
     print(f"maintenance statistics: {stats}")
 
 
+def batched_updates() -> None:
+    print()
+    print("=" * 70)
+    print("Batched ingestion: apply_batch consolidates and amortizes")
+    print("=" * 70)
+    database = Database.from_dict(
+        {
+            "R": (("A", "B"), [(1, 10), (2, 20)]),
+            "S": (("B",), [(10,)]),
+        }
+    )
+    engine = DynamicEngine("Q(A) = R(A, B), S(B)", epsilon=0.5)
+    engine.load(database)
+    stream = UpdateStream(
+        [
+            Update("S", (20,), +1),      # customer 2 becomes visible
+            Update("R", (3, 20), +1),
+            Update("R", (3, 20), -1),    # ...cancelled within the batch
+            Update("R", (4, 10), +1),
+        ]
+    )
+    batch = stream.consolidated()
+    print(f"stream of {len(stream)} updates -> {len(batch)} net deltas")
+    engine.apply_batch(batch)
+    print(f"result after batch : {engine.result()}")
+    print(f"maintenance stats  : {engine.rebalance_stats.as_dict()}")
+    # long streams are chunked: engine.apply_stream(stream, batch_size=500)
+
+
 def inspect_plan() -> None:
     print()
     print("=" * 70)
@@ -88,4 +117,5 @@ def inspect_plan() -> None:
 if __name__ == "__main__":
     static_evaluation()
     dynamic_evaluation()
+    batched_updates()
     inspect_plan()

@@ -25,7 +25,7 @@ Quickstart::
 from repro.core.api import DynamicEngine, HierarchicalEngine, StaticEngine
 from repro.data.database import Database
 from repro.data.relation import Relation
-from repro.data.update import Update, UpdateStream
+from repro.data.update import Update, UpdateBatch, UpdateStream
 from repro.query.atom import Atom, atom
 from repro.query.classes import classify
 from repro.query.conjunctive import ConjunctiveQuery, query
@@ -44,6 +44,7 @@ __all__ = [
     "Relation",
     "StaticEngine",
     "Update",
+    "UpdateBatch",
     "UpdateStream",
     "atom",
     "classify",

@@ -1,4 +1,11 @@
-"""Baseline evaluation strategies used in the comparison benchmarks."""
+"""Baseline evaluation strategies used in the comparison benchmarks.
+
+Each baseline mirrors one row of the paper's Figures 4 and 5 and speaks the
+same interface as :class:`repro.core.api.HierarchicalEngine` — including
+batched ingestion via ``apply_batch`` / ``apply_stream(batch_size=...)`` —
+so every engine in a comparison consumes identical update streams and
+identical consolidated batches.
+"""
 
 from repro.baselines.base import BaselineEngine
 from repro.baselines.first_order_ivm import FirstOrderIVMEngine

@@ -2,20 +2,39 @@
 
 Baselines implement the same external interface as
 :class:`repro.core.api.HierarchicalEngine` — ``load``, ``update`` /
-``apply`` / ``apply_stream``, ``enumerate``, ``result`` — so the benchmark
-harness can swap them in and out when reproducing the comparison tables
-(Figures 4 and 5 of the paper).
+``apply`` / ``apply_stream`` / ``apply_batch``, ``enumerate``, ``result`` —
+so the benchmark harness can swap them in and out when reproducing the
+comparison tables (Figures 4 and 5 of the paper), and so batched-ingestion
+comparisons stay apples-to-apples across all engines.
+
+Subclasses implement three hooks: ``_preprocess`` (build whatever state the
+strategy maintains), ``_apply_update`` (absorb one single-tuple update), and
+optionally ``_apply_batch`` (absorb one consolidated
+:class:`~repro.data.update.UpdateBatch`; the default replays the batch's net
+updates through ``_apply_update``, which already benefits from cancelled
+insert/delete pairs).
+
+Usage::
+
+    from repro.baselines import NaiveRecomputeEngine
+    from repro.workloads import mixed_stream, path_query_database
+
+    database = path_query_database(100, seed=1)
+    engine = NaiveRecomputeEngine("Q(A, C) = R(A, B), S(B, C)")
+    engine.load(database)
+    engine.apply_stream(mixed_stream(database, 50, seed=2), batch_size=10)
+    print(len(engine.result()))
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.core.planner import coerce_query
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
-from repro.data.update import Update
+from repro.data.update import Update, UpdateBatch, as_batch, iter_batches
 from repro.exceptions import ReproError
 
 
@@ -50,6 +69,11 @@ class BaselineEngine:
     def _apply_update(self, update: Update) -> None:  # pragma: no cover - abstract hook
         raise NotImplementedError
 
+    def _apply_batch(self, batch: UpdateBatch) -> None:
+        """Absorb one consolidated batch; default replays the net updates."""
+        for update in batch.updates():
+            self._apply_update(update)
+
     def enumerate(self) -> Iterator[Tuple[ValueTuple, int]]:  # pragma: no cover
         raise NotImplementedError
 
@@ -61,7 +85,19 @@ class BaselineEngine:
         self._require_loaded()
         self._apply_update(update)
 
-    def apply_stream(self, updates: Iterable[Update]) -> None:
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[Update]]) -> None:
+        """Consolidate ``updates`` into a net-effect batch and absorb it."""
+        self._require_loaded()
+        self._apply_batch(as_batch(updates))
+
+    def apply_stream(
+        self, updates: Iterable[Update], batch_size: Optional[int] = None
+    ) -> None:
+        """Apply a stream one by one, or in consolidated batches of ``batch_size``."""
+        if batch_size is not None:
+            for batch in iter_batches(updates, batch_size):
+                self.apply_batch(batch)
+            return
         for update in updates:
             self.apply(update)
 

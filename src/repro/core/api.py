@@ -14,6 +14,21 @@
     engine.update("R", (3, 20), +1)          # single-tuple insert
     print(engine.result())
 
+Heavy update traffic should be ingested in *batches*: ``apply_batch``
+consolidates a sequence of updates into its net per-relation deltas, applies
+them to the base relations in one pass, propagates grouped deltas through
+every affected view tree in a single traversal, and runs one deferred
+rebalance check — amortizing the per-update overhead while producing the
+same query result as replaying the updates one by one::
+
+    from repro import Update, UpdateStream
+
+    stream = UpdateStream([Update("R", (4, 20), 1), Update("S", (20, 9), 1)])
+    engine.apply_batch(stream)               # one consolidated batch
+    for batch in stream.batches(500):        # or: chunk a long stream
+        engine.apply_batch(batch)
+    engine.apply_stream(stream, batch_size=500)   # equivalent shorthand
+
 The ``epsilon`` parameter is the paper's trade-off knob: preprocessing runs
 in ``O(N^{1+(w−1)ε})``, enumeration delay is ``O(N^{1−ε})``, and (in dynamic
 mode) single-tuple updates take ``O(N^{δε})`` amortized time, where ``w`` and
@@ -23,11 +38,11 @@ mode) single-tuple updates take ``O(N^{δε})`` amortized time, where ``w`` and
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
-from repro.data.update import Update, UpdateStream
+from repro.data.update import Update, UpdateBatch, UpdateStream, as_batch, iter_batches
 from repro.engine.materialize import materialize_plan, total_view_size
 from repro.enumeration.result import ResultEnumerator
 from repro.exceptions import ReproError, UnsupportedQueryError
@@ -188,18 +203,48 @@ class HierarchicalEngine:
 
     def apply(self, update: Update) -> None:
         """Apply one :class:`~repro.data.update.Update`."""
+        self._require_dynamic()
+        self._driver.on_update(update)
+
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[Update]]) -> None:
+        """Consolidate ``updates`` into one batch and ingest it in one pass.
+
+        Accepts an :class:`~repro.data.update.UpdateBatch`, an
+        :class:`~repro.data.update.UpdateStream`, or any iterable of
+        :class:`~repro.data.update.Update`.  Same-tuple deltas are merged and
+        cancelled pairs dropped before any maintenance work happens; the
+        surviving per-relation deltas are applied to the base relations and
+        propagated through each affected view tree in a single grouped
+        traversal, followed by one deferred rebalance check.  The resulting
+        query result is identical to applying the same updates one by one.
+        """
+        self._require_dynamic()
+        self._driver.on_batch(as_batch(updates))
+
+    def apply_stream(
+        self, updates: Iterable[Update], batch_size: Optional[int] = None
+    ) -> None:
+        """Apply a sequence of updates, optionally chunked into batches.
+
+        With ``batch_size=None`` every update is processed individually (the
+        paper's single-tuple model); with a positive ``batch_size`` the
+        stream is cut into consecutive consolidated batches of that many
+        source updates and ingested through :meth:`apply_batch`.
+        """
+        if batch_size is not None:
+            for batch in iter_batches(updates, batch_size):
+                self.apply_batch(batch)
+            return
+        for update in updates:
+            self.apply(update)
+
+    def _require_dynamic(self) -> None:
         self._require_loaded()
         if self.mode != DYNAMIC_MODE or self._driver is None:
             raise UnsupportedQueryError(
                 "updates require mode='dynamic'; this engine was built for "
                 "static evaluation"
             )
-        self._driver.on_update(update)
-
-    def apply_stream(self, updates: Iterable[Update]) -> None:
-        """Apply a sequence of single-tuple updates in order."""
-        for update in updates:
-            self.apply(update)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -19,7 +19,15 @@ from repro.data.schema import (
     tuple_to_dict,
     union_schema,
 )
-from repro.data.update import Update, UpdateStream, deletes_for, inserts_for
+from repro.data.update import (
+    Update,
+    UpdateBatch,
+    UpdateStream,
+    as_batch,
+    deletes_for,
+    inserts_for,
+    iter_batches,
+)
 
 __all__ = [
     "Database",
@@ -30,7 +38,10 @@ __all__ = [
     "Relation",
     "Schema",
     "Update",
+    "UpdateBatch",
     "UpdateStream",
+    "as_batch",
+    "iter_batches",
     "ValueTuple",
     "deletes_for",
     "dict_to_tuple",

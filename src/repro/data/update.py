@@ -1,16 +1,37 @@
-"""Single-tuple updates and update streams.
+"""Single-tuple updates, update streams, and consolidated update batches.
 
 The paper models an update as ``δR = {x → m}``: an insert when ``m > 0`` and
 a delete when ``m < 0`` (Section 3).  :class:`Update` captures exactly that,
 and :class:`UpdateStream` is a thin convenience wrapper used by the dynamic
 engine, the baselines, and the benchmark harness so all of them consume the
 same update sequences.
+
+:class:`UpdateBatch` generalises the model to ``δR = {x₁ → m₁, …, xₖ → mₖ}``
+over several relations at once: it stores the *net effect* of a sequence of
+single-tuple updates (same-tuple deltas are merged, zero-multiplicity no-ops
+are dropped) grouped by relation.  Because delta propagation is linear in the
+delta for fixed sibling contents, replaying a batch relation group by
+relation group yields the same final query result as replaying the source
+updates one by one — the batched maintenance path
+(:class:`repro.ivm.maintenance.BatchUpdateProcessor`) exploits this to
+amortize per-update overhead.  ``UpdateStream.batches(size)`` chunks a
+recorded stream into consecutive batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
@@ -44,6 +65,153 @@ class Update:
         object.__setattr__(self, "tuple", tuple(self.tuple))
 
 
+class UpdateBatch:
+    """The net effect of a sequence of updates, grouped by relation.
+
+    A batch stores ``{relation → {tuple → net multiplicity}}``: adding an
+    update merges its multiplicity into the entry of its tuple, and entries
+    whose net multiplicity reaches zero are dropped (an insert followed by a
+    matching delete inside one batch is a no-op end to end).
+    ``source_count`` remembers how many single-tuple updates were folded in,
+    so throughput accounting stays in terms of the original stream.
+
+    Typical use::
+
+        batch = UpdateBatch([Update("R", (1, 2), 1), Update("R", (1, 2), -1)])
+        batch.is_empty()        # True — the pair cancelled
+        batch.source_count      # 2
+
+    Batches are consumed by :meth:`repro.core.api.HierarchicalEngine.apply_batch`
+    and by the ``apply_batch`` method of every baseline engine.
+    """
+
+    def __init__(self, updates: Iterable[Update] = ()) -> None:
+        self._deltas: Dict[str, Dict[ValueTuple, int]] = {}
+        self._source_count = 0
+        self.extend(updates)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, update: Update) -> None:
+        """Fold one single-tuple update into the batch."""
+        self.add_delta(update.relation, update.tuple, update.multiplicity)
+        self._source_count += 1
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        """Fold a sequence of single-tuple updates into the batch."""
+        for update in updates:
+            self.add(update)
+
+    def add_delta(self, relation: str, tup: ValueTuple, multiplicity: int) -> None:
+        """Merge a raw delta entry without counting it as a source update."""
+        if multiplicity == 0:
+            return
+        group = self._deltas.setdefault(relation, {})
+        tup = tuple(tup)
+        merged = group.get(tup, 0) + multiplicity
+        if merged == 0:
+            del group[tup]
+            if not group:
+                del self._deltas[relation]
+        else:
+            group[tup] = merged
+
+    @classmethod
+    def from_updates(cls, updates: Iterable[Update]) -> "UpdateBatch":
+        """Consolidate any iterable of updates (alias of the constructor)."""
+        return cls(updates)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def source_count(self) -> int:
+        """Number of single-tuple updates folded into this batch."""
+        return self._source_count
+
+    def is_empty(self) -> bool:
+        """True when every source update cancelled out."""
+        return not self._deltas
+
+    def __len__(self) -> int:
+        """Number of net ``(relation, tuple)`` delta entries."""
+        return sum(len(group) for group in self._deltas.values())
+
+    def relations(self) -> Tuple[str, ...]:
+        """Relations with at least one net delta, in first-touched order."""
+        return tuple(self._deltas)
+
+    def delta_for(self, relation: str) -> Mapping[ValueTuple, int]:
+        """The net delta ``{tuple → multiplicity}`` of one relation."""
+        return self._deltas.get(relation, {})
+
+    def deltas_by_relation(self) -> Dict[str, Dict[ValueTuple, int]]:
+        """A copy of all per-relation net deltas."""
+        return {name: dict(group) for name, group in self._deltas.items()}
+
+    def grouped_by_key(
+        self, relation: str, key_of: Callable[[ValueTuple], ValueTuple]
+    ) -> Dict[ValueTuple, Dict[ValueTuple, int]]:
+        """Group one relation's net delta by a partition key projection.
+
+        ``key_of`` is typically :meth:`repro.data.partition.Partition.key_of`;
+        the maintenance layer uses the grouping to make one routing and one
+        rebalancing decision per partition key instead of one per tuple.
+        """
+        grouped: Dict[ValueTuple, Dict[ValueTuple, int]] = {}
+        for tup, mult in self.delta_for(relation).items():
+            grouped.setdefault(key_of(tup), {})[tup] = mult
+        return grouped
+
+    def updates(self) -> Iterator[Update]:
+        """The net updates, grouped by relation (one per surviving entry)."""
+        for relation, group in self._deltas.items():
+            for tup, mult in group.items():
+                yield Update(relation, tup, mult)
+
+    def apply_to(self, database: Database) -> None:
+        """Apply every net delta directly to the base relations.
+
+        Like :meth:`UpdateStream.apply_to` this bypasses incremental
+        maintenance; baselines use it to refresh ground-truth state in one
+        pass.
+        """
+        for relation, group in self._deltas.items():
+            target = database.relation(relation)
+            for tup, mult in group.items():
+                target.apply_delta(tup, mult)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UpdateBatch(relations={len(self._deltas)}, entries={len(self)}, "
+            f"source_count={self._source_count})"
+        )
+
+
+def as_batch(updates: Union["UpdateBatch", Iterable[Update]]) -> "UpdateBatch":
+    """Coerce an :class:`UpdateBatch`, stream, or iterable into a batch."""
+    if isinstance(updates, UpdateBatch):
+        return updates
+    return UpdateBatch(updates)
+
+
+def iter_batches(
+    updates: Iterable[Update], size: int
+) -> Iterator["UpdateBatch"]:
+    """Chunk any iterable of updates into consecutive consolidated batches."""
+    if size <= 0:
+        raise ValueError("batch size must be positive")
+    batch = UpdateBatch()
+    for update in updates:
+        batch.add(update)
+        if batch.source_count >= size:
+            yield batch
+            batch = UpdateBatch()
+    if batch.source_count:
+        yield batch
+
+
 class UpdateStream:
     """An ordered sequence of single-tuple updates."""
 
@@ -72,6 +240,19 @@ class UpdateStream:
     def deletes(self) -> "UpdateStream":
         """Return the sub-stream of deletes, in order."""
         return UpdateStream(u for u in self._updates if u.is_delete)
+
+    def batches(self, size: int) -> Iterator[UpdateBatch]:
+        """Chunk the stream into consecutive consolidated batches.
+
+        Each batch folds ``size`` source updates (the last one possibly
+        fewer) into their net per-relation deltas; ``size=len(stream)``
+        consolidates the whole stream into one batch.
+        """
+        return iter_batches(self._updates, size)
+
+    def consolidated(self) -> UpdateBatch:
+        """Consolidate the entire stream into a single batch."""
+        return UpdateBatch(self._updates)
 
     def apply_to(self, database: Database) -> None:
         """Apply every update directly to the base relations of ``database``.

@@ -1,4 +1,4 @@
-"""Single-tuple update processing (``UpdateTrees``, Figure 19).
+"""Update processing (``UpdateTrees``, Figure 19): single-tuple and batched.
 
 For an update ``δR = {x → m}`` the maintenance layer:
 
@@ -14,8 +14,20 @@ For an update ``δR = {x → m}`` the maintenance layer:
 5. refreshes the heavy-indicator supports ``∃H`` of the affected triples and
    propagates any support change through the skew trees.
 
+:class:`BatchUpdateProcessor` runs the same five steps once per *batch
+relation group* instead of once per tuple: a whole
+:class:`~repro.data.update.UpdateBatch` is applied to each base relation in
+one pass and the grouped delta is propagated through every affected view
+tree in a single traversal.  This is sound because delta propagation is
+linear in the delta for fixed sibling contents and every relation occurs at
+most once per tree (footnote 2), so the grouped propagation equals the sum
+of the per-tuple propagations; processing relations one group at a time
+keeps the sibling snapshots consistent exactly like the sequential path
+(the higher-order term ``δR ⋈ δS`` never appears).
+
 Rebalancing (threshold maintenance) is handled separately by
-:mod:`repro.ivm.rebalance`.
+:mod:`repro.ivm.rebalance`; the batched path defers it to one check per
+batch (:meth:`repro.ivm.rebalance.MaintenanceDriver.on_batch`).
 """
 
 from __future__ import annotations
@@ -25,12 +37,17 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.data.database import Database
 from repro.data.partition import Partition
 from repro.data.schema import Schema, ValueTuple
-from repro.data.update import Update
-from repro.exceptions import UnknownRelationError, UnsupportedQueryError
+from repro.data.update import Update, UpdateBatch
+from repro.exceptions import (
+    RejectedUpdateError,
+    UnknownRelationError,
+    UnsupportedQueryError,
+)
 from repro.ivm.delta import Delta, propagate_delta
 from repro.query.atom import Atom
 from repro.views.indicators import IndicatorTriple
 from repro.views.skew import SkewAwarePlan
+from repro.views.view import ViewTreeNode
 
 
 class UpdateProcessor:
@@ -169,3 +186,166 @@ class UpdateProcessor:
             if light_name in triple.light_tree.source_names():
                 triple_key = self._triple_key(triple, relation_name, witness_tuple)
                 self._refresh_indicator(triple, triple_key)
+
+
+class BatchUpdateProcessor:
+    """Applies consolidated update batches to a materialized skew-aware plan.
+
+    The processor mirrors the five steps of :class:`UpdateProcessor` but
+    amortizes all per-update overhead across the batch:
+
+    * which trees and indicator triples reference each relation is computed
+      once and cached (the plan's tree structure is fixed for its lifetime,
+      only view *contents* change);
+    * the base relation, every strategy tree, and every indicator ``All``
+      tree absorb one grouped delta per batch instead of one per tuple;
+    * light-part routing and heavy-indicator refreshes are decided once per
+      distinct partition key touched by the batch.
+
+    Batches are processed one relation group at a time so each grouped
+    propagation joins against sibling contents that already include every
+    previously processed group — the same telescoping the sequential path
+    performs, hence the same final view contents for the query result.
+    """
+
+    def __init__(
+        self,
+        plan: SkewAwarePlan,
+        database: Database,
+        processor: Optional[UpdateProcessor] = None,
+    ) -> None:
+        self.plan = plan
+        self.database = database
+        self.processor = processor or UpdateProcessor(plan, database)
+        self._trees_by_source: Dict[str, Tuple[ViewTreeNode, ...]] = {}
+        self._light_indicator_trees: Dict[str, Tuple[ViewTreeNode, ...]] = {}
+        self._triples_by_relation: Dict[str, Tuple[IndicatorTriple, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # cached plan lookups
+    # ------------------------------------------------------------------
+    def _trees_for(self, source_name: str) -> Tuple[ViewTreeNode, ...]:
+        trees = self._trees_by_source.get(source_name)
+        if trees is None:
+            trees = self.plan.trees_referencing(source_name)
+            self._trees_by_source[source_name] = trees
+        return trees
+
+    def _light_indicator_trees_for(
+        self, source_name: str
+    ) -> Tuple[ViewTreeNode, ...]:
+        trees = self._light_indicator_trees.get(source_name)
+        if trees is None:
+            trees = tuple(
+                triple.light_tree
+                for triple in self.plan.indicator_triples
+                if source_name in triple.light_tree.source_names()
+            )
+            self._light_indicator_trees[source_name] = trees
+        return trees
+
+    def _triples_for(self, relation_name: str) -> Tuple[IndicatorTriple, ...]:
+        triples = self._triples_by_relation.get(relation_name)
+        if triples is None:
+            triples = self.plan.triples_referencing(relation_name)
+            self._triples_by_relation[relation_name] = triples
+        return triples
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> None:
+        """Process one consolidated batch (Figure 19 steps, grouped).
+
+        The batch is validated up front — every relation must occur in the
+        query and every net delete must be covered by the current base
+        multiplicity — so a rejected batch raises *before* any relation,
+        view, or indicator is touched (all-or-nothing ingestion, unlike the
+        sequential path where a mid-stream rejection keeps the updates that
+        preceded it).
+        """
+        self._validate_batch(batch)
+        for relation_name in batch.relations():
+            self._apply_group(batch, relation_name)
+
+    def _validate_batch(self, batch: UpdateBatch) -> None:
+        for relation_name in batch.relations():
+            self.processor._atom_for(relation_name)
+            relation = self.database.relation(relation_name)
+            for tup, mult in batch.delta_for(relation_name).items():
+                if mult < 0 and relation.multiplicity(tup) + mult < 0:
+                    raise RejectedUpdateError(
+                        f"batch rejected: net delete of {-mult} copies of "
+                        f"{tup!r} from {relation_name!r} exceeds the stored "
+                        f"multiplicity {relation.multiplicity(tup)}; "
+                        "no part of the batch was applied"
+                    )
+
+    def _apply_group(self, batch: UpdateBatch, relation_name: str) -> None:
+        group: Delta = dict(batch.delta_for(relation_name))
+        if not group:
+            return
+        relation = self.database.relation(relation_name)
+        self.processor._atom_for(relation_name)
+        schema: Schema = relation.schema
+        partitions = self.plan.partitions.partitions_of(relation_name)
+
+        # (1) pre-state per partition key, and the induced light routing:
+        # a key's delta routes to the light part when the key is new to the
+        # base relation (new keys start light, Definition 11) or currently
+        # classified light.  Heavy keys absorb the delta in the base/heavy
+        # side only; the deferred rebalance check may move them later.
+        routed: List[Tuple[Partition, Delta]] = []
+        for partition in partitions:
+            light_delta: Delta = {}
+            by_key = batch.grouped_by_key(relation_name, partition.key_of)
+            for key, key_group in by_key.items():
+                was_in_base = partition.base.contains_key(partition.keys, key)
+                if (not was_in_base) or partition.is_light_key(key):
+                    light_delta.update(key_group)
+            routed.append((partition, light_delta))
+
+        # (2) the shared base relation absorbs the whole group exactly once
+        for tup, mult in group.items():
+            relation.apply_delta(tup, mult)
+
+        # (3) one grouped traversal per strategy tree and indicator All tree
+        for tree in self._trees_for(relation_name):
+            propagate_delta(tree, relation_name, schema, group)
+        triples = self._triples_for(relation_name)
+        for triple in triples:
+            propagate_delta(triple.all_tree, relation_name, schema, group)
+
+        # (4) grouped light-part routing
+        updated_light: Set[int] = set()
+        for partition, light_delta in routed:
+            if not light_delta or id(partition.light) in updated_light:
+                continue
+            updated_light.add(id(partition.light))
+            for tup, mult in light_delta.items():
+                partition.light.apply_delta(tup, mult)
+            light_name = partition.light.name
+            for tree in self._trees_for(light_name):
+                propagate_delta(tree, light_name, schema, light_delta)
+            for tree in self._light_indicator_trees_for(light_name):
+                propagate_delta(tree, light_name, schema, light_delta)
+
+        # (5) heavy-indicator refresh, once per distinct triple key
+        for triple in triples:
+            keys = {
+                self.processor._triple_key(triple, relation_name, tup)
+                for tup in group
+            }
+            for key in keys:
+                self._refresh_indicator(triple, key)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _refresh_indicator(self, triple: IndicatorTriple, key: ValueTuple) -> None:
+        change = triple.refresh_key(key)
+        if change == 0:
+            return
+        source = triple.exists_heavy.name
+        for tree in self._trees_for(source):
+            propagate_delta(tree, source, triple.keys, {key: change})

@@ -11,17 +11,29 @@ The dynamic engine keeps a *threshold base* ``M`` with the size invariant
 * **Minor rebalancing** fires when one partition key drifts across the loose
   thresholds of Definition 11: its tuples are moved into or out of the light
   part and the affected views and indicators are refreshed (Proposition 26).
+
+The batched ingestion path (:meth:`MaintenanceDriver.on_batch`) defers both
+checks to once per batch: after a whole
+:class:`~repro.data.update.UpdateBatch` has been absorbed, the size
+invariant is restored (doubling/halving ``M`` as often as needed, since one
+batch can overshoot more than one doubling) and each partition key touched
+by the batch gets exactly one minor-rebalance check.  Between the batch's
+internal updates the loose invariants may transiently be violated; they are
+re-established before the call returns, which is all the amortized analysis
+needs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.data.database import Database
-from repro.data.update import Update
+from repro.data.partition import Partition
+from repro.data.schema import ValueTuple
+from repro.data.update import Update, UpdateBatch, as_batch
 from repro.engine.materialize import materialize_plan
-from repro.ivm.maintenance import UpdateProcessor
+from repro.ivm.maintenance import BatchUpdateProcessor, UpdateProcessor
 from repro.views.skew import SkewAwarePlan
 
 
@@ -30,6 +42,7 @@ class RebalanceStats:
     """Counters describing rebalancing activity (reported by benchmarks)."""
 
     updates: int = 0
+    batches: int = 0
     minor_rebalances: int = 0
     major_rebalances: int = 0
     moved_to_light: int = 0
@@ -38,6 +51,7 @@ class RebalanceStats:
     def as_dict(self) -> Dict[str, int]:
         return {
             "updates": self.updates,
+            "batches": self.batches,
             "minor_rebalances": self.minor_rebalances,
             "major_rebalances": self.major_rebalances,
             "moved_to_light": self.moved_to_light,
@@ -60,6 +74,7 @@ class MaintenanceDriver:
         self.epsilon = epsilon
         self.enable_rebalancing = enable_rebalancing
         self.processor = UpdateProcessor(plan, database)
+        self.batch_processor = BatchUpdateProcessor(plan, database, self.processor)
         self.stats = RebalanceStats()
         # Definition 51: the initial threshold base is 2N + 1.
         self.threshold_base = 2 * database.size + 1
@@ -97,6 +112,45 @@ class MaintenanceDriver:
         for update in updates:
             self.on_update(update)
 
+    def on_batch(self, batch: Union[UpdateBatch, Iterable[Update]]) -> None:
+        """Process one consolidated batch with a single deferred rebalance check.
+
+        The whole batch is absorbed through
+        :class:`~repro.ivm.maintenance.BatchUpdateProcessor` first; the size
+        invariant and the per-key loose thresholds are then restored in one
+        pass over the touched keys instead of once per source update.
+        """
+        batch = as_batch(batch)
+        self.batch_processor.apply_batch(batch)
+        self.stats.updates += batch.source_count
+        self.stats.batches += 1
+        if not self.enable_rebalancing:
+            return
+        size = self.database.size
+        resized = False
+        while size >= self.threshold_base:
+            self.threshold_base = 2 * self.threshold_base
+            resized = True
+        while size < (self.threshold_base // 4):
+            halved = max(1, self.threshold_base // 2 - 1)
+            if halved == self.threshold_base:
+                break
+            self.threshold_base = halved
+            resized = True
+        if resized:
+            self._major_rebalance()
+            return
+        threshold = self.threshold
+        for relation_name in batch.relations():
+            for partition in self.plan.partitions.partitions_of(relation_name):
+                witnesses: Dict[ValueTuple, ValueTuple] = {}
+                for tup in batch.delta_for(relation_name):
+                    witnesses.setdefault(partition.key_of(tup), tup)
+                for key, witness in witnesses.items():
+                    self._check_partition_key(
+                        partition, key, witness, relation_name, threshold
+                    )
+
     # ------------------------------------------------------------------
     def _major_rebalance(self) -> None:
         """Figure 20: strictly repartition and recompute every view."""
@@ -109,20 +163,33 @@ class MaintenanceDriver:
         threshold = self.threshold
         for partition in self.plan.partitions.partitions_of(relation.name):
             key = partition.key_of(update.tuple)
-            light_degree = partition.light_degree(key)
-            base_degree = partition.base_degree(key)
-            if light_degree == 0 and 0 < base_degree < 0.5 * threshold:
-                self.stats.minor_rebalances += 1
-                self.stats.moved_to_light += base_degree
-                self.processor.move_partition_key(
-                    partition, key, True, update.tuple, update.relation
-                )
-            elif light_degree >= 1.5 * threshold:
-                self.stats.minor_rebalances += 1
-                self.stats.moved_to_heavy += light_degree
-                self.processor.move_partition_key(
-                    partition, key, False, update.tuple, update.relation
-                )
+            self._check_partition_key(
+                partition, key, update.tuple, update.relation, threshold
+            )
+
+    def _check_partition_key(
+        self,
+        partition: Partition,
+        key: ValueTuple,
+        witness: ValueTuple,
+        relation_name: str,
+        threshold: float,
+    ) -> None:
+        """Move one key across the heavy/light border if it drifted."""
+        light_degree = partition.light_degree(key)
+        base_degree = partition.base_degree(key)
+        if light_degree == 0 and 0 < base_degree < 0.5 * threshold:
+            self.stats.minor_rebalances += 1
+            self.stats.moved_to_light += base_degree
+            self.processor.move_partition_key(
+                partition, key, True, witness, relation_name
+            )
+        elif light_degree >= 1.5 * threshold:
+            self.stats.minor_rebalances += 1
+            self.stats.moved_to_heavy += light_degree
+            self.processor.move_partition_key(
+                partition, key, False, witness, relation_name
+            )
 
     # ------------------------------------------------------------------
     def check_partitions(self) -> None:

@@ -6,6 +6,12 @@ characteristics: pure insert streams (for the "preprocessing = N inserts"
 experiments), mixed insert/delete streams that keep the database size
 roughly stable, skew-shifting streams that force minor rebalancing, and
 growth streams that force major rebalancing.
+
+Every generator returns an :class:`~repro.data.update.UpdateStream`, so its
+output can be consumed either one tuple at a time (``engine.apply_stream``)
+or in consolidated batches (``stream.batches(size)`` →
+``engine.apply_batch``); the batched benchmarks replay the exact same
+streams as the single-update ones.
 """
 
 from __future__ import annotations

@@ -135,6 +135,7 @@ class TestRebalanceStats:
         stats = engine.rebalance_stats.as_dict()
         assert set(stats) == {
             "updates",
+            "batches",
             "minor_rebalances",
             "major_rebalances",
             "moved_to_light",

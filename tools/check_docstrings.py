@@ -1,0 +1,52 @@
+"""Docs gate: every public module under ``src/repro/`` needs a docstring.
+
+Usage::
+
+    python tools/check_docstrings.py          # exit 1 and list offenders
+    make docs-check                           # the same, via the Makefile
+
+A "public module" is any ``.py`` file in the package whose name does not
+start with an underscore (package ``__init__.py`` files are public: they are
+the import surface).  The check parses each file with :mod:`ast`, so it runs
+without importing the package and without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def modules_missing_docstrings(root: Path) -> list:
+    """Return the paths of public modules without a module docstring."""
+    missing = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name.startswith("_") and path.name != "__init__.py":
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        docstring = ast.get_docstring(tree)
+        if not docstring or not docstring.strip():
+            missing.append(path)
+    return missing
+
+
+def main() -> int:
+    if not PACKAGE_ROOT.is_dir():
+        print(f"docs-check: package root {PACKAGE_ROOT} not found", file=sys.stderr)
+        return 2
+    missing = modules_missing_docstrings(PACKAGE_ROOT)
+    checked = sum(1 for _ in PACKAGE_ROOT.rglob("*.py"))
+    if missing:
+        print(f"docs-check: {len(missing)} module(s) lack a module docstring:")
+        for path in missing:
+            print(f"  {path.relative_to(PACKAGE_ROOT.parent.parent)}")
+        return 1
+    print(f"docs-check: OK ({checked} modules under src/repro/ documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
