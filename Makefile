@@ -4,11 +4,19 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-batch docs-check install-dev
+.PHONY: test fuzz-smoke bench-smoke bench-batch docs-check install-dev
 
-## Tier-1 verification: the full test suite, fail-fast.
+## Tier-1 verification: the full test suite (fail-fast), then the seeded
+## conformance fuzz smoke pass.
 test:
 	$(PY) -m pytest -x -q
+	$(MAKE) --no-print-directory fuzz-smoke
+
+## Differential conformance fuzzing, seeded and time-boxed (~30s).  The case
+## sequence is deterministic for a given seed; failures are shrunk and
+## written to ./fuzz-failures/ as replayable JSON repros.
+fuzz-smoke:
+	$(PY) tools/fuzz.py --seed 0 --budget 30
 
 ## Quick benchmark sanity pass: the batched-ingestion benchmark at 1/5 scale.
 bench-smoke:

@@ -70,7 +70,13 @@ class BaselineEngine:
         raise NotImplementedError
 
     def _apply_batch(self, batch: UpdateBatch) -> None:
-        """Absorb one consolidated batch; default replays the net updates."""
+        """Absorb one consolidated batch; default replays the net updates.
+
+        The batch is validated against the current base relations first, so
+        an over-deleting entry rejects the whole batch before any replayed
+        update has touched engine state.
+        """
+        batch.validate_against(self.database)
         for update in batch.updates():
             self._apply_update(update)
 

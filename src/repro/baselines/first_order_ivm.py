@@ -38,6 +38,7 @@ from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateBatch
 from repro.engine.evaluator import evaluate_query_naive
 from repro.engine.join import BoundRelation, delta_join
+from repro.exceptions import RejectedUpdateError
 
 
 class FirstOrderIVMEngine(BaselineEngine):
@@ -57,7 +58,9 @@ class FirstOrderIVMEngine(BaselineEngine):
         # One delta query per relation group: processing groups sequentially
         # keeps the delta rule exact (each group joins against the state that
         # already includes every previously processed group), so the final
-        # result matches the one-by-one replay.
+        # result matches the one-by-one replay.  Validating the whole batch
+        # first keeps rejection atomic across relation groups.
+        batch.validate_against(self.database)
         for relation in batch.relations():
             self._apply_relation_delta(relation, dict(batch.delta_for(relation)))
 
@@ -67,6 +70,18 @@ class FirstOrderIVMEngine(BaselineEngine):
             raise KeyError(
                 f"relation {relation!r} does not occur in {self.query}"
             )
+        # Reject over-deletes before any state is touched: the delta query is
+        # merged into the materialized result *before* the base relation
+        # absorbs the group, so a late rejection would leave the two
+        # inconsistent.
+        base = self.database.relation(relation)
+        for tup, mult in group.items():
+            if mult < 0 and base.multiplicity(tup) + mult < 0:
+                raise RejectedUpdateError(
+                    f"delete of {-mult} copies of {tup!r} rejected: relation "
+                    f"{relation!r} holds only {base.multiplicity(tup)}; "
+                    "no state was modified"
+                )
         siblings = [
             BoundRelation(other.variables, self.database.relation(other.relation))
             for other in self.query.atoms
@@ -82,7 +97,6 @@ class FirstOrderIVMEngine(BaselineEngine):
         for tup, mult in delta.items():
             if mult != 0:
                 self._result.apply_delta(tup, mult)
-        base = self.database.relation(relation)
         for tup, mult in group.items():
             base.apply_delta(tup, mult)
 

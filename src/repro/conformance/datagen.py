@@ -1,0 +1,95 @@
+"""Random databases and update streams for generated queries.
+
+The fuzzer needs data whose *degree distribution* is controllable — the one
+data characteristic the paper's cost statements (and the skew-aware
+partitioning) actually depend on.  :class:`DataProfile` exposes the same
+knobs as :mod:`repro.workloads.generators` (domain size, Zipf exponent,
+heavy-hitter fraction) scaled down to fuzzing-sized relations, and
+:func:`random_database` materializes a database for *any* conjunctive query
+by instantiating every atom's schema.  Columns shared between atoms draw
+from one common domain so joins actually connect.
+
+Update streams delegate to :func:`repro.workloads.streams.mixed_stream`,
+which replays inserts and deletes against a shadow copy — deletes always
+target existing tuples, so a generated stream is valid on every engine and
+any rejection during a differential run is itself a conformance failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+from repro.data.update import UpdateStream
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.workloads.generators import zipf_values
+from repro.workloads.streams import mixed_stream
+
+
+@dataclass(frozen=True)
+class DataProfile:
+    """Degree-distribution knobs for fuzzing-sized databases.
+
+    ``skew`` is a Zipf exponent applied to every column (0 = uniform);
+    ``heavy_fraction`` routes that fraction of each relation's tuples onto a
+    single hot value per column, producing the bimodal distribution that
+    separates the heavy and light maintenance strategies.
+    """
+
+    tuples_per_relation: int = 20
+    domain: int = 8
+    skew: float = 0.0
+    heavy_fraction: float = 0.0
+
+
+def _column_values(
+    count: int, profile: DataProfile, rng: random.Random, seed: int
+) -> List[int]:
+    if profile.skew > 0.0:
+        values = zipf_values(count, profile.domain, profile.skew, seed)
+    else:
+        values = [rng.randrange(profile.domain) for _ in range(count)]
+    if profile.heavy_fraction > 0.0:
+        values = [0 if rng.random() < profile.heavy_fraction else v for v in values]
+    return values
+
+
+def random_database(
+    query: ConjunctiveQuery, profile: DataProfile, seed: int = 0
+) -> Database:
+    """A random database matching the schemas of every atom of ``query``."""
+    rng = random.Random(seed)
+    contents = {}
+    for atom_index, atom in enumerate(query.atoms):
+        columns = [
+            _column_values(
+                profile.tuples_per_relation,
+                profile,
+                rng,
+                seed * 1009 + atom_index * 31 + position,
+            )
+            for position in range(len(atom.variables))
+        ]
+        rows: List[ValueTuple] = list(zip(*columns)) if columns else []
+        contents[atom.relation] = (atom.variables, rows)
+    return Database.from_dict(contents)
+
+
+def random_update_stream(
+    database: Database,
+    count: int,
+    profile: DataProfile,
+    delete_fraction: float = 0.3,
+    seed: int = 0,
+) -> UpdateStream:
+    """A rejection-free mixed insert/delete stream over ``database``."""
+    return mixed_stream(
+        database,
+        count,
+        delete_fraction=delete_fraction,
+        domain=profile.domain,
+        seed=seed,
+    )

@@ -1,0 +1,259 @@
+"""Random conjunctive queries with known-by-construction classification labels.
+
+Hierarchical queries are generated from a random *variable tree*: every node
+is one variable and every atom's schema is the root-to-node path of the node
+it is attached to.  For two variables ``X`` and ``Y`` this makes
+``atoms(X)`` and ``atoms(Y)`` either disjoint (different branches) or nested
+(ancestor/descendant), which is exactly Definition 1 — so the construction
+*guarantees* the query is hierarchical, independently of what
+:func:`repro.query.classes.is_hierarchical` computes.  When the head is
+chosen upward-closed in the tree (a union of root-to-node paths), any
+variable whose atom set strictly contains a free variable's atom set is an
+ancestor of it and therefore free as well — guaranteeing q-hierarchical.
+
+Non-hierarchical queries are produced by planting a cross-branch atom: take
+a tree with two root branches that each contain a private atom, then add an
+atom spanning one variable from each branch.  The two spanned variables now
+share the planted atom while each retains a private one, so their atom sets
+overlap without nesting — a guaranteed Definition 1 violation.
+
+:func:`check_query_conformance` is the round-trip oracle: it asserts that
+the classifier agrees with the construction labels, that the width measures
+satisfy the paper's propositions (6, 7, 8, 17), that the parser round-trips
+``parse(str(q)) == q``, and that the planner accepts exactly the supported
+fragment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import UnsupportedQueryError
+from repro.query.atom import Atom
+from repro.query.classes import classify
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.core.planner import plan_query
+from repro.widths.dynamic_width import dynamic_width
+from repro.widths.static_width import static_width
+
+HEAD_MODES = ("closed", "random", "full", "boolean")
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """A generated query together with what its construction guarantees.
+
+    ``hierarchical`` is exact (True or False by construction);
+    ``q_hierarchical`` is ``True`` when the head was chosen upward-closed in
+    the variable tree (guaranteed q-hierarchical) and ``None`` when the
+    construction makes no promise either way.
+    """
+
+    query: ConjunctiveQuery
+    hierarchical: bool
+    q_hierarchical: Optional[bool]
+    head_mode: str
+
+
+class _TreeNode:
+    """One variable of the generated variable tree."""
+
+    __slots__ = ("variable", "children", "path")
+
+    def __init__(self, variable: str, path: Tuple[str, ...]) -> None:
+        self.variable = variable
+        self.path = path  # root-to-node variables, inclusive
+        self.children: List["_TreeNode"] = []
+
+
+def _build_tree(
+    rng: random.Random,
+    counter: List[int],
+    path: Tuple[str, ...],
+    depth: int,
+    max_depth: int,
+    max_children: int,
+) -> _TreeNode:
+    variable = f"V{counter[0]}"
+    counter[0] += 1
+    node = _TreeNode(variable, path + (variable,))
+    if depth < max_depth:
+        for _ in range(rng.randint(0, max_children)):
+            node.children.append(
+                _build_tree(rng, counter, node.path, depth + 1, max_depth, max_children)
+            )
+    return node
+
+
+def _collect(node: _TreeNode) -> List[_TreeNode]:
+    nodes = [node]
+    for child in node.children:
+        nodes.extend(_collect(child))
+    return nodes
+
+
+def _attach_atoms(
+    rng: random.Random, nodes: Sequence[_TreeNode], atom_probability: float
+) -> List[Atom]:
+    """One atom per leaf (mandatory) plus optional atoms at inner nodes.
+
+    Leaf atoms guarantee that every variable occurs in at least one atom;
+    schemas are shuffled so column order varies independently of the tree.
+    """
+    atoms: List[Atom] = []
+    for node in nodes:
+        is_leaf = not node.children
+        if is_leaf or rng.random() < atom_probability:
+            schema = list(node.path)
+            rng.shuffle(schema)
+            atoms.append(Atom(f"R{len(atoms)}", tuple(schema)))
+    return atoms
+
+
+def _choose_head(
+    rng: random.Random, roots: Sequence[_TreeNode], mode: str
+) -> Tuple[str, ...]:
+    all_nodes = [node for root in roots for node in _collect(root)]
+    if mode == "boolean":
+        return ()
+    if mode == "full":
+        return tuple(node.variable for node in all_nodes)
+    if mode == "closed":
+        # union of root-to-node paths: upward-closed in the tree
+        chosen: List[str] = []
+        seen = set()
+        for node in all_nodes:
+            if rng.random() < 0.5:
+                for variable in node.path:
+                    if variable not in seen:
+                        seen.add(variable)
+                        chosen.append(variable)
+        return tuple(chosen)
+    # mode == "random": arbitrary subset, no classification promise
+    return tuple(
+        node.variable for node in all_nodes if rng.random() < 0.5
+    )
+
+
+def random_labeled_query(
+    rng: random.Random,
+    max_depth: int = 3,
+    max_children: int = 2,
+    max_roots: int = 2,
+    atom_probability: float = 0.4,
+    head_mode: Optional[str] = None,
+) -> LabeledQuery:
+    """Generate a random hierarchical query with construction labels.
+
+    ``max_roots > 1`` occasionally yields disconnected queries (Cartesian
+    products of hierarchical components), which the engine must also
+    support.  ``head_mode`` picks the head-selection strategy (one of
+    :data:`HEAD_MODES`); ``None`` samples one at random.
+    """
+    mode = head_mode or rng.choice(HEAD_MODES)
+    counter = [0]
+    roots = [
+        _build_tree(rng, counter, (), 1, max_depth, max_children)
+        for _ in range(rng.randint(1, max_roots))
+    ]
+    nodes = [node for root in roots for node in _collect(root)]
+    atoms = _attach_atoms(rng, nodes, atom_probability)
+    head = _choose_head(rng, roots, mode)
+    query = ConjunctiveQuery(head, atoms, name="Q")
+    return LabeledQuery(
+        query=query,
+        hierarchical=True,
+        q_hierarchical=True if mode == "closed" else None,
+        head_mode=mode,
+    )
+
+
+def random_nonhierarchical_query(
+    rng: random.Random,
+    max_depth: int = 2,
+    max_children: int = 2,
+) -> LabeledQuery:
+    """Generate a query that is guaranteed *not* to be hierarchical.
+
+    Builds two independent branches, each carrying a private leaf atom, then
+    plants one atom spanning a variable of each branch: the spanned
+    variables' atom sets overlap (the planted atom) without nesting (each
+    keeps its private atom) — violating Definition 1.
+    """
+    counter = [0]
+    left = _build_tree(rng, counter, (), 1, max_depth, max_children)
+    right = _build_tree(rng, counter, (), 1, max_depth, max_children)
+    nodes = _collect(left) + _collect(right)
+    atoms = _attach_atoms(rng, nodes, atom_probability=0.3)
+    bridge_left = rng.choice(_collect(left)).variable
+    bridge_right = rng.choice(_collect(right)).variable
+    atoms.append(Atom(f"R{len(atoms)}", (bridge_left, bridge_right)))
+    head = tuple(node.variable for node in nodes if rng.random() < 0.5)
+    query = ConjunctiveQuery(head, atoms, name="Q")
+    return LabeledQuery(
+        query=query, hierarchical=False, q_hierarchical=False, head_mode="random"
+    )
+
+
+def check_query_conformance(labeled: LabeledQuery) -> None:
+    """Assert classifier/widths/parser/planner agreement for one query.
+
+    This is the query-layer half of the differential oracle: the generator
+    *knows* the labels, so any disagreement is a bug in the classification
+    or width code (or in the generator itself — either way worth failing).
+    Raises :class:`AssertionError` with a descriptive message.
+    """
+    query = labeled.query
+    classification = classify(query)
+
+    # construction labels
+    assert classification.hierarchical == labeled.hierarchical, (
+        f"classifier says hierarchical={classification.hierarchical} but the "
+        f"construction guarantees {labeled.hierarchical} for {query}"
+    )
+    if labeled.q_hierarchical is not None:
+        assert classification.q_hierarchical == labeled.q_hierarchical, (
+            f"classifier says q-hierarchical={classification.q_hierarchical} "
+            f"but the construction guarantees {labeled.q_hierarchical} for {query}"
+        )
+
+    # parser round-trip (satellite: parse(str(query)) == query)
+    reparsed = parse_query(str(query))
+    assert reparsed == query, f"parser round-trip changed the query: {query} -> {reparsed}"
+
+    # width propositions of the paper
+    if classification.hierarchical:
+        w = static_width(query)
+        d = dynamic_width(query)
+        assert w >= 1.0, f"static width {w} < 1 for {query}"
+        assert d == classification.delta_index, (
+            f"Proposition 8 violated for {query}: dynamic width {d} != "
+            f"delta index {classification.delta_index}"
+        )
+        assert d in (w - 1, w), (
+            f"Proposition 17 violated for {query}: delta {d} not in "
+            f"{{w-1, w}} for w = {w}"
+        )
+        assert classification.q_hierarchical == (classification.delta_index == 0), (
+            f"Proposition 6 violated for {query}: q-hierarchical="
+            f"{classification.q_hierarchical}, delta index {classification.delta_index}"
+        )
+        if classification.free_connex:
+            assert classification.delta_index <= 1, (
+                f"Proposition 7 violated for {query}: free-connex hierarchical "
+                f"with delta index {classification.delta_index}"
+            )
+
+    # planner gate: accepts exactly the hierarchical fragment
+    try:
+        plan_query(query)
+        planned = True
+    except UnsupportedQueryError:
+        planned = False
+    assert planned == classification.hierarchical, (
+        f"planner {'accepted' if planned else 'rejected'} {query} but "
+        f"hierarchical={classification.hierarchical}"
+    )

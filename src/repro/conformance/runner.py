@@ -1,0 +1,423 @@
+"""The differential runner: one workload, every engine, diff everything.
+
+A :class:`ConformanceCase` is a fully serializable workload — query text,
+database contents, update sequence, ε grid, checkpoint count.  Running a
+case executes the same workload through:
+
+* :class:`~repro.core.api.HierarchicalEngine` at every ε of the grid, once
+  ingesting updates one tuple at a time and once in consolidated batches;
+* :class:`~repro.baselines.naive.NaiveRecomputeEngine` (the ground-truth
+  oracle), both paths;
+* :class:`~repro.baselines.first_order_ivm.FirstOrderIVMEngine` and
+  :class:`~repro.baselines.full_materialization.FullMaterializationEngine`;
+* :class:`~repro.baselines.free_connex.FreeConnexEngine` when the query is
+  free-connex.
+
+At every checkpoint the runner diffs each engine's full result against the
+oracle, diffs the *result delta* since the previous checkpoint (so a
+mismatch is localized to the segment that introduced it), checks the
+enumeration invariants of the engine (deterministic order across passes, no
+duplicate tuples, strictly positive multiplicities), and probes the
+engine's internal structures via
+:meth:`~repro.core.api.HierarchicalEngine.check_invariants`.
+
+Non-hierarchical cases are differential too: the planner must *reject* the
+query (the fragment gate is part of the contract), after which the
+baselines — which support arbitrary conjunctive queries — are diffed
+against each other with the naive engine as oracle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.first_order_ivm import FirstOrderIVMEngine
+from repro.baselines.free_connex import FreeConnexEngine
+from repro.baselines.full_materialization import FullMaterializationEngine
+from repro.baselines.naive import NaiveRecomputeEngine
+from repro.core.api import HierarchicalEngine
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+from repro.data.update import Update, UpdateStream
+from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.query.classes import classify
+from repro.query.hypergraph import is_free_connex
+from repro.query.parser import parse_query
+
+DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 0.5, 1.0)
+
+ResultDict = Dict[ValueTuple, int]
+
+
+@dataclass
+class ConformanceCase:
+    """A self-contained differential workload (JSON-serializable)."""
+
+    query: str
+    relations: Dict[str, Tuple[Tuple[str, ...], List[Tuple[ValueTuple, int]]]]
+    updates: List[Tuple[str, ValueTuple, int]]
+    epsilons: Tuple[float, ...] = DEFAULT_EPSILONS
+    checkpoints: int = 4
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        query: str,
+        database: Database,
+        stream: UpdateStream,
+        epsilons: Sequence[float] = DEFAULT_EPSILONS,
+        checkpoints: int = 4,
+    ) -> "ConformanceCase":
+        """Capture a database + stream into a replayable case."""
+        relations = {
+            relation.name: (
+                tuple(relation.schema),
+                [(tup, mult) for tup, mult in relation.items()],
+            )
+            for relation in database
+        }
+        updates = [(u.relation, u.tuple, u.multiplicity) for u in stream]
+        return cls(
+            query=query,
+            relations=relations,
+            updates=updates,
+            epsilons=tuple(epsilons),
+            checkpoints=checkpoints,
+        )
+
+    def database(self) -> Database:
+        """Materialize a fresh database from the captured contents."""
+        db = Database()
+        for name, (schema, rows) in self.relations.items():
+            relation = db.create_relation(name, schema)
+            for tup, mult in rows:
+                relation.apply_delta(tuple(tup), mult)
+        return db
+
+    def update_objects(self) -> List[Update]:
+        return [Update(rel, tuple(tup), mult) for rel, tup, mult in self.updates]
+
+    def segments(self) -> List[List[Update]]:
+        """Split the update sequence into ``checkpoints`` contiguous segments."""
+        updates = self.update_objects()
+        count = max(1, self.checkpoints)
+        size = max(1, (len(updates) + count - 1) // count) if updates else 1
+        return [updates[i : i + size] for i in range(0, len(updates), size)] or [[]]
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "query": self.query,
+                "relations": {
+                    name: {"schema": list(schema), "rows": [[list(t), m] for t, m in rows]}
+                    for name, (schema, rows) in self.relations.items()
+                },
+                "updates": [[rel, list(tup), mult] for rel, tup, mult in self.updates],
+                "epsilons": list(self.epsilons),
+                "checkpoints": self.checkpoints,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConformanceCase":
+        raw = json.loads(text)
+        return cls(
+            query=raw["query"],
+            relations={
+                name: (
+                    tuple(entry["schema"]),
+                    [(tuple(t), m) for t, m in entry["rows"]],
+                )
+                for name, entry in raw["relations"].items()
+            },
+            updates=[(rel, tuple(tup), mult) for rel, tup, mult in raw["updates"]],
+            epsilons=tuple(raw["epsilons"]),
+            checkpoints=raw["checkpoints"],
+        )
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One observed divergence between an engine and the oracle."""
+
+    engine: str
+    checkpoint: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] engine {self.engine!r} at checkpoint "
+            f"{self.checkpoint}: {self.detail}"
+        )
+
+
+class ConformanceError(ReproError):
+    """Raised when a differential run diverges; carries the mismatches."""
+
+    def __init__(self, mismatches: Sequence[Mismatch]) -> None:
+        super().__init__(
+            "; ".join(str(m) for m in mismatches) or "conformance failure"
+        )
+        self.mismatches = tuple(mismatches)
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one differential run."""
+
+    query: str
+    supported: bool
+    engines: Tuple[str, ...]
+    checkpoints_run: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            raise ConformanceError(self.mismatches)
+
+
+class _Runner:
+    """One engine under differential observation."""
+
+    def __init__(self, name: str, engine, batched: bool) -> None:
+        self.name = name
+        self.engine = engine
+        self.batched = batched
+        self.previous: ResultDict = {}
+
+    def ingest(self, segment: List[Update]) -> None:
+        if self.batched:
+            self.engine.apply_batch(segment)
+        else:
+            for update in segment:
+                self.engine.apply(update)
+
+    def result(self) -> ResultDict:
+        return dict(self.engine.result())
+
+
+def _diff(expected: ResultDict, actual: ResultDict, limit: int = 5) -> Optional[str]:
+    """Human-readable diff of two result dictionaries (None when equal)."""
+    if expected == actual:
+        return None
+    problems: List[str] = []
+    for tup in expected:
+        if tup not in actual:
+            problems.append(f"missing {tup!r} (expected multiplicity {expected[tup]})")
+        elif actual[tup] != expected[tup]:
+            problems.append(
+                f"{tup!r} has multiplicity {actual[tup]}, expected {expected[tup]}"
+            )
+        if len(problems) >= limit:
+            break
+    if len(problems) < limit:
+        for tup in actual:
+            if tup not in expected:
+                problems.append(f"extra {tup!r} (multiplicity {actual[tup]})")
+            if len(problems) >= limit:
+                break
+    return "; ".join(problems) or "results differ"
+
+
+def _delta(previous: ResultDict, current: ResultDict) -> ResultDict:
+    """The per-tuple multiplicity change between two checkpoints."""
+    delta: ResultDict = {}
+    for tup, mult in current.items():
+        change = mult - previous.get(tup, 0)
+        if change:
+            delta[tup] = change
+    for tup, mult in previous.items():
+        if tup not in current:
+            delta[tup] = -mult
+    return delta
+
+
+def _check_enumeration(engine: HierarchicalEngine) -> Optional[str]:
+    """Enumeration-order invariants: deterministic, duplicate-free, positive."""
+    first = list(engine.enumerate())
+    second = list(engine.enumerate())
+    if first != second:
+        return "two enumeration passes yielded different sequences"
+    seen = set()
+    for tup, mult in first:
+        if tup in seen:
+            return f"tuple {tup!r} enumerated more than once"
+        seen.add(tup)
+        if mult <= 0:
+            return f"tuple {tup!r} enumerated with non-positive multiplicity {mult}"
+    if engine.count_distinct() != len(first):
+        return "count_distinct disagrees with the enumerated sequence"
+    return None
+
+
+def _build_runners(
+    case: ConformanceCase, supported: bool, free_connex: bool
+) -> Tuple[List[_Runner], NaiveRecomputeEngine]:
+    database = case.database()
+    oracle = NaiveRecomputeEngine(case.query)
+    oracle.load(database)
+    runners: List[_Runner] = [
+        _Runner("naive-batch", NaiveRecomputeEngine(case.query).load(database), True),
+        _Runner("first-order", FirstOrderIVMEngine(case.query).load(database), False),
+        _Runner(
+            "first-order-batch", FirstOrderIVMEngine(case.query).load(database), True
+        ),
+        _Runner(
+            "full-materialization",
+            FullMaterializationEngine(case.query).load(database),
+            False,
+        ),
+    ]
+    if supported:
+        for epsilon in case.epsilons:
+            runners.append(
+                _Runner(
+                    f"ivm(eps={epsilon})",
+                    HierarchicalEngine(case.query, epsilon=epsilon).load(database),
+                    False,
+                )
+            )
+            runners.append(
+                _Runner(
+                    f"ivm-batch(eps={epsilon})",
+                    HierarchicalEngine(case.query, epsilon=epsilon).load(database),
+                    True,
+                )
+            )
+    if supported and free_connex:
+        runners.append(
+            _Runner("free-connex", FreeConnexEngine(case.query).load(database), False)
+        )
+    return runners, oracle
+
+
+def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceReport:
+    """Execute one differential run and report every divergence found."""
+    query = parse_query(case.query)
+    classification = classify(query)
+    supported = classification.hierarchical
+    mismatches: List[Mismatch] = []
+
+    # fragment gate: the planner must accept exactly the hierarchical fragment
+    gate_ok = True
+    try:
+        HierarchicalEngine(case.query)
+    except UnsupportedQueryError:
+        gate_ok = False
+    if gate_ok != supported:
+        mismatches.append(
+            Mismatch(
+                engine="planner",
+                checkpoint=-1,
+                kind="fragment-gate",
+                detail=(
+                    f"planner {'accepted' if gate_ok else 'rejected'} the query but "
+                    f"hierarchical={supported}"
+                ),
+            )
+        )
+        return ConformanceReport(
+            query=case.query,
+            supported=supported,
+            engines=(),
+            checkpoints_run=0,
+            mismatches=mismatches,
+        )
+
+    runners, oracle = _build_runners(case, supported, is_free_connex(query))
+    segments = case.segments()
+
+    oracle_previous: ResultDict = {}
+    checkpoint = 0
+    # checkpoint 0 observes the preprocessing output, before any update
+    for index in range(len(segments) + 1):
+        if index > 0:
+            segment = segments[index - 1]
+            oracle.apply_stream(segment)
+            for runner in runners:
+                runner.ingest(segment)
+        truth = dict(oracle.result())
+        truth_delta = _delta(oracle_previous, truth)
+        for runner in runners:
+            observed = runner.result()
+            diff = _diff(truth, observed)
+            if diff is not None:
+                mismatches.append(
+                    Mismatch(runner.name, checkpoint, "result", diff)
+                )
+            # Diff the per-segment result delta too, but only when the full
+            # result still matches — otherwise the 'result' mismatch above
+            # already covers it and a duplicate would burn max_mismatches.
+            if diff is None:
+                observed_delta = _delta(runner.previous, observed)
+                if observed_delta != truth_delta:
+                    delta_diff = _diff(truth_delta, observed_delta)
+                    mismatches.append(
+                        Mismatch(
+                            runner.name,
+                            checkpoint,
+                            "delta",
+                            f"result delta diverges: {delta_diff}",
+                        )
+                    )
+            runner.previous = observed
+            engine = runner.engine
+            if isinstance(engine, HierarchicalEngine):
+                enumeration_problem = _check_enumeration(engine)
+                if enumeration_problem is not None:
+                    mismatches.append(
+                        Mismatch(runner.name, checkpoint, "enumeration", enumeration_problem)
+                    )
+                try:
+                    engine.check_invariants()
+                except ReproError as exc:
+                    mismatches.append(
+                        Mismatch(runner.name, checkpoint, "invariant", str(exc))
+                    )
+            if len(mismatches) >= max_mismatches:
+                return ConformanceReport(
+                    query=case.query,
+                    supported=supported,
+                    engines=tuple(r.name for r in runners),
+                    checkpoints_run=checkpoint + 1,
+                    mismatches=mismatches,
+                )
+        oracle_previous = truth
+        checkpoint += 1
+
+    return ConformanceReport(
+        query=case.query,
+        supported=supported,
+        engines=tuple(r.name for r in runners),
+        checkpoints_run=checkpoint,
+        mismatches=mismatches,
+    )
+
+
+def case_failure(case: ConformanceCase) -> Optional[Mismatch]:
+    """Run a case and normalize any failure mode into a single mismatch.
+
+    A crash anywhere in the run (a rejected update, an invariant violation
+    that escapes, an arbitrary exception in maintenance code) counts as a
+    conformance failure exactly like a result divergence — the shrinker
+    only needs *a* failure signal, not a classified one.
+    """
+    try:
+        report = run_case(case)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return Mismatch(
+            engine="(run)", checkpoint=-1, kind="crash", detail=f"{type(exc).__name__}: {exc}"
+        )
+    if report.mismatches:
+        return report.mismatches[0]
+    return None

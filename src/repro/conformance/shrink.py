@@ -1,0 +1,169 @@
+"""Shrinking failing cases to minimal repros, and repro-file round-trips.
+
+When the fuzzer finds a divergence the raw case is rarely readable — dozens
+of tuples and updates, most of them irrelevant.  :func:`shrink_case` runs a
+greedy delta-debugging pass (coarse-to-fine chunk removal, the ddmin idea
+without the combinatorial sweep) over three axes in turn:
+
+1. the update sequence,
+2. the database tuples,
+3. the ε grid and checkpoint count,
+
+re-running the failure predicate after every candidate removal and keeping
+any reduction that still fails.  The predicate is typically
+:func:`repro.conformance.runner.case_failure`, which treats crashes and
+divergences uniformly, so shrinking works no matter how the bug manifests.
+
+The shrunk case is written as a JSON repro file via :func:`write_repro`;
+``tools/fuzz.py --repro <file>`` (or :func:`load_case` +
+:func:`~repro.conformance.runner.run_case`) replays it deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.conformance.runner import ConformanceCase, Mismatch
+
+FailurePredicate = Callable[[ConformanceCase], Optional[Mismatch]]
+
+
+def _with_updates(case: ConformanceCase, updates: List) -> ConformanceCase:
+    return ConformanceCase(
+        query=case.query,
+        relations=case.relations,
+        updates=updates,
+        epsilons=case.epsilons,
+        checkpoints=case.checkpoints,
+    )
+
+
+def _with_relations(case: ConformanceCase, flat_rows: List) -> ConformanceCase:
+    relations = {
+        name: (schema, [row for rel, row in flat_rows if rel == name])
+        for name, (schema, _rows) in case.relations.items()
+    }
+    return ConformanceCase(
+        query=case.query,
+        relations=relations,
+        updates=case.updates,
+        epsilons=case.epsilons,
+        checkpoints=case.checkpoints,
+    )
+
+
+def _shrink_list(
+    items: List,
+    rebuild: Callable[[List], ConformanceCase],
+    fails: FailurePredicate,
+    budget: List[int],
+) -> List:
+    """Greedy chunked removal: keep any deletion that still fails."""
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1 and budget[0] > 0:
+        start = 0
+        while start < len(items) and budget[0] > 0:
+            candidate = items[:start] + items[start + chunk :]
+            if len(candidate) == len(items):
+                break
+            budget[0] -= 1
+            if fails(rebuild(candidate)) is not None:
+                items = candidate  # removal kept the failure: accept it
+            else:
+                start += chunk
+        chunk //= 2
+    return items
+
+
+def shrink_case(
+    case: ConformanceCase,
+    fails: FailurePredicate,
+    max_evaluations: int = 400,
+) -> ConformanceCase:
+    """Reduce ``case`` while ``fails`` keeps reporting a failure.
+
+    ``max_evaluations`` bounds the number of differential re-runs, so
+    shrinking stays time-boxed even for stubborn failures; the original
+    case is returned unchanged if it does not fail at all (nothing to
+    shrink — and a non-reproducing "failure" should not be reported as
+    minimal).
+    """
+    if fails(case) is None:
+        return case
+    budget = [max_evaluations]
+
+    updates = _shrink_list(
+        list(case.updates), lambda u: _with_updates(case, u), fails, budget
+    )
+    case = _with_updates(case, updates)
+
+    flat_rows: List[Tuple[str, Tuple]] = [
+        (name, row)
+        for name, (_schema, rows) in case.relations.items()
+        for row in rows
+    ]
+    flat_rows = _shrink_list(
+        flat_rows, lambda rows: _with_relations(case, rows), fails, budget
+    )
+    case = _with_relations(case, flat_rows)
+
+    # drop epsilons one at a time (keep at least one), then collapse checkpoints
+    for epsilon in list(case.epsilons):
+        if len(case.epsilons) <= 1 or budget[0] <= 0:
+            break
+        reduced = ConformanceCase(
+            query=case.query,
+            relations=case.relations,
+            updates=case.updates,
+            epsilons=tuple(e for e in case.epsilons if e != epsilon),
+            checkpoints=case.checkpoints,
+        )
+        budget[0] -= 1
+        if fails(reduced) is not None:
+            case = reduced
+    if case.checkpoints > 1 and budget[0] > 0:
+        reduced = ConformanceCase(
+            query=case.query,
+            relations=case.relations,
+            updates=case.updates,
+            epsilons=case.epsilons,
+            checkpoints=1,
+        )
+        budget[0] -= 1
+        if fails(reduced) is not None:
+            case = reduced
+    return case
+
+
+def write_repro(
+    case: ConformanceCase,
+    mismatch: Optional[Mismatch],
+    path: Path,
+) -> Path:
+    """Serialize a (shrunk) failing case plus its observed failure to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.loads(case.to_json())
+    payload["failure"] = (
+        {
+            "engine": mismatch.engine,
+            "checkpoint": mismatch.checkpoint,
+            "kind": mismatch.kind,
+            "detail": mismatch.detail,
+        }
+        if mismatch is not None
+        else None
+    )
+    payload["replay"] = "python tools/fuzz.py --repro " + str(path)
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_case(path: Path) -> ConformanceCase:
+    """Load a repro file written by :func:`write_repro`."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    raw.pop("failure", None)
+    raw.pop("replay", None)
+    return ConformanceCase.from_json(json.dumps(raw))

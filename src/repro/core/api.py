@@ -45,7 +45,11 @@ from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateBatch, UpdateStream, as_batch, iter_batches
 from repro.engine.materialize import materialize_plan, total_view_size
 from repro.enumeration.result import ResultEnumerator
-from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.exceptions import (
+    InvariantViolationError,
+    ReproError,
+    UnsupportedQueryError,
+)
 from repro.ivm.rebalance import MaintenanceDriver, RebalanceStats
 from repro.core.planner import (
     QueryPlan,
@@ -127,6 +131,36 @@ class HierarchicalEngine:
         self._require_loaded()
         assert self._skew_plan is not None
         return total_view_size(self._skew_plan)
+
+    def check_invariants(self) -> None:
+        """Deep consistency probe over the engine's internal structures.
+
+        Verifies, for every heavy/light partition of the plan, that the
+        light part is a sub-bag of its base relation and — when rebalancing
+        is active — that the loose partition conditions of Definition 11
+        hold at the current threshold; and, for every indicator triple,
+        that the ``∃H`` support matches its definition.  Raises
+        :class:`~repro.exceptions.InvariantViolationError` on the first
+        violation.  The differential conformance harness
+        (:mod:`repro.conformance`) calls this at every checkpoint so a
+        maintenance bug surfaces even when it happens not to corrupt the
+        enumerated result yet.
+        """
+        self._require_loaded()
+        assert self._skew_plan is not None
+        rebalanced = self.mode == DYNAMIC_MODE and self.enable_rebalancing
+        threshold = self.threshold
+        for partition in self._skew_plan.partitions.partitions():
+            if rebalanced:
+                partition.check_loose(threshold)
+            else:
+                partition.check_consistency()
+        for triple in self._skew_plan.indicator_triples:
+            if not triple.check_support():
+                raise InvariantViolationError(
+                    f"heavy-indicator support {triple.exists_heavy.name} does "
+                    "not match its definition"
+                )
 
     def explain(self) -> str:
         """Human-readable description of the plan and, if loaded, the view trees."""

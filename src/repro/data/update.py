@@ -35,6 +35,7 @@ from typing import (
 
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
+from repro.exceptions import RejectedUpdateError
 
 
 @dataclass(frozen=True)
@@ -170,13 +171,34 @@ class UpdateBatch:
             for tup, mult in group.items():
                 yield Update(relation, tup, mult)
 
+    def validate_against(self, database: Database) -> None:
+        """Raise :class:`RejectedUpdateError` if any net delete over-deletes.
+
+        Checks every entry against the *current* multiplicities without
+        mutating anything, so callers can reject a batch before touching any
+        state (all-or-nothing ingestion).
+        """
+        for relation, group in self._deltas.items():
+            target = database.relation(relation)
+            for tup, mult in group.items():
+                if mult < 0 and target.multiplicity(tup) + mult < 0:
+                    raise RejectedUpdateError(
+                        f"batch rejected: net delete of {-mult} copies of "
+                        f"{tup!r} from {relation!r} exceeds the stored "
+                        f"multiplicity {target.multiplicity(tup)}; "
+                        "no part of the batch was applied"
+                    )
+
     def apply_to(self, database: Database) -> None:
         """Apply every net delta directly to the base relations.
 
         Like :meth:`UpdateStream.apply_to` this bypasses incremental
         maintenance; baselines use it to refresh ground-truth state in one
-        pass.
+        pass.  The batch is validated first, so an over-deleting entry
+        raises before *any* delta is applied and the database is left
+        untouched.
         """
+        self.validate_against(database)
         for relation, group in self._deltas.items():
             target = database.relation(relation)
             for tup, mult in group.items():
@@ -199,9 +221,20 @@ def as_batch(updates: Union["UpdateBatch", Iterable[Update]]) -> "UpdateBatch":
 def iter_batches(
     updates: Iterable[Update], size: int
 ) -> Iterator["UpdateBatch"]:
-    """Chunk any iterable of updates into consecutive consolidated batches."""
+    """Chunk any iterable of updates into consecutive consolidated batches.
+
+    Raises :class:`ValueError` *immediately* for ``size <= 0`` — the check
+    happens at call time, not lazily at the first ``next()``, so a bad batch
+    size can never be mistaken for an empty stream.
+    """
+    if not isinstance(size, int) or isinstance(size, bool):
+        raise ValueError(f"batch size must be an integer, got {size!r}")
     if size <= 0:
-        raise ValueError("batch size must be positive")
+        raise ValueError(f"batch size must be positive, got {size}")
+    return _iter_batches(updates, size)
+
+
+def _iter_batches(updates: Iterable[Update], size: int) -> Iterator["UpdateBatch"]:
     batch = UpdateBatch()
     for update in updates:
         batch.add(update)

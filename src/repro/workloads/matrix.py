@@ -10,6 +10,11 @@ optimal" point of Figure 3.
 The Online Matrix-Vector (OMv) encoding of Proposition 10 is also provided:
 a fixed matrix in ``R`` and a stream of vectors, each delivered as ``O(n)``
 single-tuple updates to ``S`` followed by an enumeration round.
+
+The matrix encoding is registered as the ``matmul`` row of the scenario
+matrix (:data:`repro.workloads.scenarios.SCENARIOS`), with a cell-churn
+update stream, so the conformance fuzzer and the benchmarks sample it
+alongside the domain scenarios.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import numpy as np
 
 from repro.data.database import Database
 from repro.data.update import Update, UpdateStream
+from repro.workloads.scenarios import Scenario, register_scenario
 
 
 def random_boolean_matrix(n: int, density: float = 0.2, seed: int = 0) -> np.ndarray:
@@ -93,3 +99,51 @@ def omv_vector_rounds(
         deletes = UpdateStream(Update("S", (i,), -1) for i in positions)
         result.append((inserts, deletes, vector))
     return result
+
+
+def matrix_cell_stream(
+    database: Database, count: int, n: int, seed: int = 0
+) -> UpdateStream:
+    """Cell churn on the matrix encoding: flip 0-cells on and 1-cells off.
+
+    Each event picks ``R`` or ``S`` and either inserts a random absent cell
+    or deletes a random present one (tracked against a shadow copy, so the
+    stream replays without rejections on any engine).
+    """
+    rng = random.Random(seed)
+    shadow = database.copy()
+    updates: List[Update] = []
+    for _ in range(count):
+        name = rng.choice(("R", "S"))
+        relation = shadow.relation(name)
+        if len(relation) > 0 and rng.random() < 0.5:
+            tup = rng.choice(list(relation.tuples()))
+            updates.append(Update(name, tup, -1))
+            relation.apply_delta(tup, -1)
+        else:
+            tup = (rng.randrange(n), rng.randrange(n))
+            if relation.multiplicity(tup) == 0:
+                updates.append(Update(name, tup, 1))
+                relation.apply_delta(tup, 1)
+    return UpdateStream(updates)
+
+
+def _matmul_scenario_database(seed: int, scale: float) -> Database:
+    n = max(4, int(24 * scale))
+    return matmul_database(n, seed=seed)[0]
+
+
+register_scenario(
+    Scenario(
+        name="matmul",
+        query="Q(A, C) = R(A, B), S(B, C)",
+        description="Boolean matrix multiplication encoding (Example 28)",
+        make_database=_matmul_scenario_database,
+        make_stream=lambda database, count, seed: matrix_cell_stream(
+            database,
+            count,
+            max((tup[0] for rel in database for tup in rel.tuples()), default=4) + 1,
+            seed=seed,
+        ),
+    )
+)

@@ -13,13 +13,29 @@ rather than synthetic benchmarks:
   posts, with per-channel activity following a Zipf law (a few channels are
   extremely hot — exactly the skew the heavy/light split targets);
 * **sensors** — the free-connex aggregation pattern of Example 18 over
-  device registrations, calibrations, and readings.
+  device registrations, calibrations, and readings;
+* **fraud** — a transaction-flagging fan-out: transfers, rule flags, and
+  geo tags all meet on a transaction id with a few mule-account hubs of
+  extreme degree (a δ₂-hierarchical star, the hardest dynamic shape here);
+* **iot** — sliding-window churn: every arriving reading eventually expires,
+  so the stream is a balanced insert/delete mix that keeps the database size
+  stable while turning its contents over completely;
+* **adversarial** — a heavy-key flip-flop that repeatedly pushes one join
+  key across the ``N^ε`` heavy/light threshold and back, the worst case for
+  minor rebalancing.
+
+Every scenario is also registered in the :data:`SCENARIOS` matrix (a
+name → :class:`Scenario` registry, extended by
+:mod:`repro.workloads.matrix` with the matrix-multiplication encoding) so
+the conformance fuzzer and the benchmark harness sample the same catalogue
+of domains through one uniform interface.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from repro.data.database import Database
 from repro.data.update import Update, UpdateStream
@@ -171,3 +187,350 @@ def sensor_reading_stream(count: int, devices: int = 200, seed: int = 3) -> Upda
         Update("Readings", (rng.randrange(devices), rng.randrange(1000)), 1)
         for _ in range(count)
     )
+
+
+# ----------------------------------------------------------------------
+# fraud: transaction-flagging fan-out (δ₂-hierarchical star)
+# ----------------------------------------------------------------------
+FRAUD_QUERY = "Suspicious(A, C, D) = Transfers(A, B), Flags(B, C), Geo(B, D)"
+"""Accounts paired with the rules and regions flagging their transactions.
+
+``A`` = account, ``B`` = transaction, ``C`` = rule, ``D`` = region.  The
+three atoms meet on the bound transaction id with every leaf free — the
+same δ₂-hierarchical star shape as ``star2`` in the test catalogue, so
+updates genuinely exercise the ``O(N^{2ε})`` amortized bound."""
+
+
+def fraud_database(
+    transfers: int = 2000,
+    flags: int = 800,
+    geo: int = 800,
+    accounts: int = 400,
+    transactions: int = 600,
+    rules: int = 12,
+    regions: int = 30,
+    skew: float = 1.2,
+    seed: int = 0,
+) -> Database:
+    """Transfers/Flags/Geo joined on hot transaction hubs.
+
+    Transaction ids follow a Zipf law in all three relations, modelling a
+    few mule accounts whose transactions attract most of the rule flags.
+    """
+    rng = random.Random(seed)
+    transfer_txns = zipf_values(transfers, transactions, skew, seed)
+    flag_txns = zipf_values(flags, transactions, skew, seed + 1)
+    geo_txns = zipf_values(geo, transactions, skew, seed + 2)
+    transfer_rows = [(rng.randrange(accounts), txn) for txn in transfer_txns]
+    flag_rows = [(txn, rng.randrange(rules)) for txn in flag_txns]
+    geo_rows = [(txn, rng.randrange(regions)) for txn in geo_txns]
+    return Database.from_dict(
+        {
+            "Transfers": (("account", "txn"), transfer_rows),
+            "Flags": (("txn", "rule"), flag_rows),
+            "Geo": (("txn", "region"), geo_rows),
+        }
+    )
+
+
+def fraud_flag_stream(
+    count: int,
+    transactions: int = 600,
+    rules: int = 12,
+    skew: float = 1.2,
+    clear_fraction: float = 0.4,
+    seed: int = 11,
+) -> UpdateStream:
+    """Rule flags raised on (mostly hot) transactions and later cleared.
+
+    Each event either raises a new flag or clears a previously raised one
+    (``clear_fraction`` of the time once flags exist), so hot transactions
+    see their flag sets flip-flop — the churn a streaming rule engine
+    produces.
+    """
+    rng = random.Random(seed)
+    txns = zipf_values(count, transactions, skew, seed + 1)
+    raised: List[Update] = []
+    updates: List[Update] = []
+    for txn in txns:
+        if raised and rng.random() < clear_fraction:
+            victim = raised.pop(rng.randrange(len(raised)))
+            updates.append(victim.inverted())
+            continue
+        update = Update("Flags", (txn, rng.randrange(rules)), 1)
+        updates.append(update)
+        raised.append(update)
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
+# iot: sliding-window churn
+# ----------------------------------------------------------------------
+IOT_QUERY = "Q(S, V) = Devices(D, S), Readings(D, V)"
+"""Per site: the readings currently inside the window, via device ownership."""
+
+
+def iot_database(
+    devices: int = 300,
+    sites: int = 40,
+    window: int = 1000,
+    value_domain: int = 10_000,
+    seed: int = 0,
+) -> Database:
+    """Device→site registrations plus an initial window of live readings."""
+    rng = random.Random(seed)
+    device_rows = [(device, rng.randrange(sites)) for device in range(devices)]
+    reading_rows = [
+        (rng.randrange(devices), rng.randrange(value_domain)) for _ in range(window)
+    ]
+    return Database.from_dict(
+        {
+            "Devices": (("device", "site"), device_rows),
+            "Readings": (("device", "value"), reading_rows),
+        }
+    )
+
+
+def iot_window_stream(
+    count: int,
+    database: Database,
+    window: int = 1000,
+    devices: int = 300,
+    value_domain: int = 10_000,
+    seed: int = 9,
+) -> UpdateStream:
+    """Sliding-window churn: every new reading eventually expires.
+
+    Each event inserts a fresh reading; once more than ``window`` readings
+    are live, the oldest one is deleted in the same breath — a FIFO window
+    over the ``Readings`` relation, seeded with the readings already present
+    in ``database`` (oldest first, in insertion order).  Roughly half the
+    stream is deletes, which keeps the database size flat while its contents
+    turn over completely — the regime where incremental maintenance has to
+    win on update cost alone.
+    """
+    rng = random.Random(seed)
+    live: List[Tuple[int, int]] = [
+        tup
+        for tup, mult in database.relation("Readings").items()
+        for _ in range(mult)
+    ]
+    oldest = 0  # cursor instead of pop(0): keeps generation O(count)
+    updates: List[Update] = []
+    for _ in range(count):
+        reading = (rng.randrange(devices), rng.randrange(value_domain))
+        live.append(reading)
+        updates.append(Update("Readings", reading, 1))
+        if len(live) - oldest > window:
+            updates.append(Update("Readings", live[oldest], -1))
+            oldest += 1
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
+# adversarial: heavy-key flip-flop around the N^ε threshold
+# ----------------------------------------------------------------------
+ADVERSARIAL_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+"""The path query under an adversarial rebalancing workload."""
+
+
+def adversarial_database(
+    size: int = 1500,
+    hot_key: int = 0,
+    hot_degree: int = 8,
+    domain_factor: float = 0.5,
+    seed: int = 0,
+) -> Database:
+    """A mostly-uniform path database with one join key primed near the threshold.
+
+    ``hot_key`` starts with ``hot_degree`` tuples in both relations, so a
+    modest burst of inserts pushes it over ``N^ε`` for mid-range ε and a
+    matching burst of deletes pulls it back — the flip-flop stream below
+    does exactly that, repeatedly.
+    """
+    rng = random.Random(seed)
+    domain = max(4, int(size * domain_factor))
+    r = [(rng.randrange(domain), rng.randrange(2, domain)) for _ in range(size)]
+    s = [(rng.randrange(2, domain), rng.randrange(domain)) for _ in range(size)]
+    r += [(rng.randrange(domain), hot_key) for _ in range(hot_degree)]
+    s += [(hot_key, rng.randrange(domain)) for _ in range(hot_degree)]
+    return Database.from_dict({"R": (("A", "B"), r), "S": (("B", "C"), s)})
+
+
+def heavy_flipflop_stream(
+    cycles: int,
+    burst: int = 40,
+    hot_key: int = 0,
+    value_domain: int = 100_000,
+    seed: int = 4,
+) -> UpdateStream:
+    """Bursts that drive one join key heavy, then light again, ``cycles`` times.
+
+    Each cycle inserts ``burst`` fresh ``R`` tuples sharing ``hot_key`` as
+    join value and then deletes them in reverse order.  Every cycle forces
+    the key across the heavy/light boundary in both directions, so minor
+    rebalancing fires continuously instead of amortizing away — the
+    adversarial schedule the loose thresholds of Definition 11 exist to
+    survive.
+    """
+    rng = random.Random(seed)
+    updates: List[Update] = []
+    for _ in range(cycles):
+        burst_tuples: List[Tuple[int, int]] = []
+        for _ in range(burst):
+            tup = (rng.randrange(value_domain), hot_key)
+            burst_tuples.append(tup)
+            updates.append(Update("R", tup, 1))
+        for tup in reversed(burst_tuples):
+            updates.append(Update("R", tup, -1))
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
+# the scenario matrix
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One row of the scenario matrix: a query plus workload factories.
+
+    ``make_database(seed, scale)`` builds the initial database (``scale``
+    multiplies the row counts) and ``make_stream(database, count, seed)``
+    builds an update stream that is valid against that database.  Both the
+    conformance fuzzer (:mod:`repro.conformance`) and the benchmark harness
+    sample scenarios through this interface, so every new domain
+    automatically becomes both a correctness workload and a benchmark
+    workload.
+    """
+
+    name: str
+    query: str
+    description: str
+    make_database: Callable[[int, float], Database]
+    make_stream: Callable[[Database, int, int], UpdateStream]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+"""The scenario matrix, keyed by scenario name."""
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the matrix (last registration wins on name clashes)."""
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, with a helpful error on typos."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, int(count * scale))
+
+
+register_scenario(
+    Scenario(
+        name="retail",
+        query=RETAIL_QUERY,
+        description="orders/returns on hot products (δ₁ path, Example 28)",
+        make_database=lambda seed, scale: retail_database(
+            orders=_scaled(2000, scale), returns=_scaled(1000, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: retail_update_stream(
+            count, seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="social",
+        query=SOCIAL_QUERY,
+        description="feed fan-out over Zipf-hot channels",
+        make_database=lambda seed, scale: social_database(
+            follows=_scaled(3000, scale), posts=_scaled(3000, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: social_post_stream(
+            count, seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sensors",
+        query=SENSOR_QUERY,
+        description="free-connex device/calibration/reading join (Example 18)",
+        make_database=lambda seed, scale: sensor_database(
+            registrations=_scaled(1500, scale),
+            calibrations=_scaled(1500, scale),
+            readings=_scaled(1500, scale),
+            seed=seed,
+        ),
+        make_stream=lambda database, count, seed: sensor_reading_stream(
+            count, seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fraud",
+        query=FRAUD_QUERY,
+        description="δ₂ star: transfers/flags/geo on mule-transaction hubs",
+        make_database=lambda seed, scale: fraud_database(
+            transfers=_scaled(2000, scale),
+            flags=_scaled(800, scale),
+            geo=_scaled(800, scale),
+            seed=seed,
+        ),
+        make_stream=lambda database, count, seed: fraud_flag_stream(
+            count, seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="iot",
+        query=IOT_QUERY,
+        description="sliding-window churn: every reading eventually expires",
+        make_database=lambda seed, scale: iot_database(
+            window=_scaled(1000, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: iot_window_stream(
+            count,
+            database,
+            window=database.relation("Readings").total_multiplicity(),
+            seed=seed,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="adversarial",
+        query=ADVERSARIAL_QUERY,
+        description="heavy-key flip-flop across the N^ε threshold",
+        make_database=lambda seed, scale: adversarial_database(
+            size=_scaled(1500, scale), seed=seed
+        ),
+        # burst ≈ 2.5·M^0.5 clears the 3θ/2 move-to-heavy bound at ε = 0.5
+        # (θ = M^ε with M = 2N+1), so every cycle crosses the border twice.
+        make_stream=lambda database, count, seed: heavy_flipflop_stream(
+            cycles=max(2, count // 80),
+            burst=max(20, int(2.5 * (2 * database.size + 1) ** 0.5)),
+            seed=seed,
+        ),
+    )
+)

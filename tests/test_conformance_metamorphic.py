@@ -1,0 +1,82 @@
+"""Metamorphic properties, driven by Hypothesis over the degree knobs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FirstOrderIVMEngine, NaiveRecomputeEngine
+from repro.conformance import (
+    DataProfile,
+    check_batch_permutation_invariance,
+    check_insert_delete_noop,
+    check_partition_union,
+    random_database,
+    random_labeled_query,
+    random_update_stream,
+)
+from repro.core.api import HierarchicalEngine
+
+# the degree-distribution knobs of workloads/generators.py, as strategies
+profiles = st.builds(
+    DataProfile,
+    tuples_per_relation=st.integers(min_value=4, max_value=18),
+    domain=st.integers(min_value=3, max_value=8),
+    skew=st.sampled_from((0.0, 0.8, 2.0)),
+    heavy_fraction=st.sampled_from((0.0, 0.4)),
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+epsilons = st.sampled_from((0.0, 0.5, 1.0))
+
+
+def _workload(seed: int, profile: DataProfile, updates: int):
+    rng = random.Random(seed)
+    labeled = random_labeled_query(rng)
+    database = random_database(labeled.query, profile, seed=rng.randrange(1 << 30))
+    stream = random_update_stream(
+        database, updates, profile, delete_fraction=0.4, seed=rng.randrange(1 << 30)
+    )
+    return labeled.query, database, list(stream)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, profile=profiles, epsilon=epsilons)
+def test_insert_then_delete_is_a_noop(seed, profile, epsilon):
+    query, database, updates = _workload(seed, profile, updates=12)
+    check_insert_delete_noop(
+        lambda: HierarchicalEngine(query, epsilon=epsilon), database, updates
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, profile=profiles, epsilon=epsilons)
+def test_batch_permutation_is_result_invariant(seed, profile, epsilon):
+    query, database, updates = _workload(seed, profile, updates=15)
+    check_batch_permutation_invariance(
+        lambda: HierarchicalEngine(query, epsilon=epsilon),
+        database,
+        updates,
+        random.Random(seed),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, profile=profiles, epsilon=epsilons, parts=st.integers(2, 5))
+def test_partitioned_stream_equals_the_whole(seed, profile, epsilon, parts):
+    query, database, updates = _workload(seed, profile, updates=18)
+    check_partition_union(
+        lambda: HierarchicalEngine(query, epsilon=epsilon), database, updates, parts
+    )
+
+
+@pytest.mark.parametrize("factory", [NaiveRecomputeEngine, FirstOrderIVMEngine])
+def test_metamorphic_properties_hold_for_baselines_too(factory):
+    query, database, updates = _workload(7, DataProfile(tuples_per_relation=10), 15)
+    check_insert_delete_noop(lambda: factory(query), database, updates)
+    check_batch_permutation_invariance(
+        lambda: factory(query), database, updates, random.Random(0)
+    )
+    check_partition_union(lambda: factory(query), database, updates, parts=3)

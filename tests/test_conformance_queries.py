@@ -1,0 +1,77 @@
+"""The random query generator and its classification round-trips."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import (
+    check_query_conformance,
+    random_labeled_query,
+    random_nonhierarchical_query,
+)
+from repro.conformance.queries import HEAD_MODES
+from repro.query.classes import classify, is_hierarchical, is_q_hierarchical
+from repro.query.parser import parse_query
+
+
+def test_hierarchical_generator_round_trips_over_many_seeds():
+    for seed in range(60):
+        labeled = random_labeled_query(random.Random(seed))
+        assert is_hierarchical(labeled.query)
+        check_query_conformance(labeled)
+
+
+def test_nonhierarchical_generator_round_trips_over_many_seeds():
+    for seed in range(30):
+        labeled = random_nonhierarchical_query(random.Random(seed))
+        assert not is_hierarchical(labeled.query)
+        check_query_conformance(labeled)
+
+
+def test_closed_head_mode_guarantees_q_hierarchical():
+    for seed in range(40):
+        labeled = random_labeled_query(random.Random(seed), head_mode="closed")
+        assert labeled.q_hierarchical is True
+        assert is_q_hierarchical(labeled.query)
+
+
+@pytest.mark.parametrize("mode", HEAD_MODES)
+def test_every_head_mode_is_reachable_and_conformant(mode):
+    for seed in range(10):
+        labeled = random_labeled_query(random.Random(seed), head_mode=mode)
+        assert labeled.head_mode == mode
+        check_query_conformance(labeled)
+
+
+def test_generator_emits_boolean_full_and_disconnected_shapes():
+    seen_boolean = seen_full = seen_disconnected = False
+    for seed in range(200):
+        query = random_labeled_query(random.Random(seed)).query
+        seen_boolean = seen_boolean or query.is_boolean
+        seen_full = seen_full or (query.is_full and not query.is_boolean)
+        seen_disconnected = seen_disconnected or len(query.connected_components()) > 1
+        if seen_boolean and seen_full and seen_disconnected:
+            break
+    assert seen_boolean and seen_full and seen_disconnected
+
+
+# ----------------------------------------------------------------------
+# satellite: parse(str(query)) == query as a Hypothesis property
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), planted=st.booleans())
+def test_parser_round_trip_property(seed, planted):
+    rng = random.Random(seed)
+    labeled = (
+        random_nonhierarchical_query(rng) if planted else random_labeled_query(rng)
+    )
+    query = labeled.query
+    reparsed = parse_query(str(query))
+    assert reparsed == query
+    assert str(reparsed) == str(query)
+    # classification is purely syntactic, so it must survive the round-trip
+    assert classify(reparsed) == classify(query)

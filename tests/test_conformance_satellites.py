@@ -1,0 +1,191 @@
+"""Satellite coverage: batch-size validation, over-delete atomicity,
+epsilon edge values, and the scenario registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    FirstOrderIVMEngine,
+    FreeConnexEngine,
+    FullMaterializationEngine,
+    NaiveRecomputeEngine,
+)
+from repro.core.api import HierarchicalEngine
+from repro.data.database import Database
+from repro.data.update import Update, UpdateBatch, UpdateStream, iter_batches
+from repro.exceptions import RejectedUpdateError
+from repro.workloads import get_scenario, scenario_names
+from repro.workloads.streams import mixed_stream
+
+from tests.conftest import random_database, schemas_for
+
+SEMIJOIN = "Q(A) = R(A, B), S(B)"
+
+
+def _semijoin_database() -> Database:
+    return Database.from_dict(
+        {"R": (("A", "B"), [(1, 10), (2, 10), (2, 20)]), "S": (("B",), [(10,), (20,)])}
+    )
+
+
+ENGINE_FACTORIES = {
+    "naive": lambda: NaiveRecomputeEngine(SEMIJOIN),
+    "first-order": lambda: FirstOrderIVMEngine(SEMIJOIN),
+    "full-materialization": lambda: FullMaterializationEngine(SEMIJOIN),
+    "free-connex": lambda: FreeConnexEngine(SEMIJOIN),
+    "ivm": lambda: HierarchicalEngine(SEMIJOIN, epsilon=0.5),
+}
+
+
+def _state_snapshot(engine):
+    if isinstance(engine, HierarchicalEngine):
+        database = engine.database
+    else:
+        database = engine.database
+    relations = {rel.name: dict(rel.items()) for rel in database}
+    return relations, dict(engine.result())
+
+
+# ----------------------------------------------------------------------
+# satellite: UpdateStream.batches(size) must reject size <= 0 eagerly
+# ----------------------------------------------------------------------
+def test_batches_rejects_non_positive_size_eagerly():
+    stream = UpdateStream([Update("R", (1, 2), 1)])
+    for bad in (0, -1, -100):
+        with pytest.raises(ValueError, match="batch size must be positive"):
+            stream.batches(bad)  # note: no iteration — the check is eager
+        with pytest.raises(ValueError, match="batch size must be positive"):
+            iter_batches(stream, bad)
+
+
+def test_batches_rejects_non_integer_size():
+    stream = UpdateStream([Update("R", (1, 2), 1)])
+    with pytest.raises(ValueError, match="must be an integer"):
+        stream.batches(1.5)
+    with pytest.raises(ValueError, match="must be an integer"):
+        stream.batches(True)
+
+
+def test_apply_stream_propagates_eager_batch_size_check():
+    engine = HierarchicalEngine(SEMIJOIN).load(_semijoin_database())
+    with pytest.raises(ValueError, match="batch size must be positive"):
+        engine.apply_stream(UpdateStream([Update("R", (3, 10), 1)]), batch_size=0)
+
+
+def test_batches_still_chunks_correctly():
+    stream = UpdateStream([Update("R", (i, i), 1) for i in range(5)])
+    batches = list(stream.batches(2))
+    assert [b.source_count for b in batches] == [2, 2, 1]
+
+
+# ----------------------------------------------------------------------
+# satellite: over-delete rejection on every engine, state untouched
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+def test_single_over_delete_rejected_and_state_untouched(name):
+    engine = ENGINE_FACTORIES[name]().load(_semijoin_database())
+    before = _state_snapshot(engine)
+    with pytest.raises(RejectedUpdateError):
+        engine.apply(Update("R", (99, 99), -1))  # tuple was never present
+    with pytest.raises(RejectedUpdateError):
+        engine.apply(Update("R", (1, 10), -2))  # present once, delete twice
+    assert _state_snapshot(engine) == before
+
+
+@pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+def test_batch_over_delete_rejected_and_state_untouched(name):
+    engine = ENGINE_FACTORIES[name]().load(_semijoin_database())
+    before = _state_snapshot(engine)
+    poisoned = [
+        Update("R", (7, 10), 1),  # valid insert, must NOT survive the rejection
+        Update("S", (555,), -1),  # over-delete in a later relation group
+    ]
+    with pytest.raises(RejectedUpdateError):
+        engine.apply_batch(poisoned)
+    assert _state_snapshot(engine) == before
+
+
+def test_update_batch_apply_to_is_atomic():
+    database = _semijoin_database()
+    before = {rel.name: dict(rel.items()) for rel in database}
+    batch = UpdateBatch([Update("R", (7, 10), 1), Update("S", (555,), -1)])
+    with pytest.raises(RejectedUpdateError):
+        batch.apply_to(database)
+    assert {rel.name: dict(rel.items()) for rel in database} == before
+
+
+# ----------------------------------------------------------------------
+# satellite: epsilon edge values agree with the naive oracle
+# ----------------------------------------------------------------------
+EDGE_QUERIES = (
+    "Q(A, C) = R(A, B), S(B, C)",
+    "Q(A) = R(A, B), S(B)",
+    "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)",
+    "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)",
+)
+
+
+@pytest.mark.parametrize("epsilon", (0.0, 1.0))
+@pytest.mark.parametrize("query", EDGE_QUERIES)
+def test_epsilon_edges_agree_with_naive_across_load_update_enumerate(query, epsilon):
+    for seed in (0, 1):
+        database = random_database(schemas_for(query), tuples_per_relation=18, seed=seed)
+        oracle = NaiveRecomputeEngine(query).load(database)
+        engine = HierarchicalEngine(query, epsilon=epsilon).load(database)
+
+        # load: preprocessing output matches the oracle
+        assert engine.result() == oracle.result()
+
+        # update: a mixed stream keeps matching at every step's end
+        stream = mixed_stream(database, 25, delete_fraction=0.4, domain=8, seed=seed + 5)
+        for update in stream:
+            engine.apply(update)
+            oracle.apply(update)
+        assert engine.result() == oracle.result()
+        engine.check_invariants()
+
+        # enumerate: duplicate-free, positive multiplicities, stable order
+        first = list(engine.enumerate())
+        assert first == list(engine.enumerate())
+        assert len({tup for tup, _ in first}) == len(first)
+        assert all(mult > 0 for _, mult in first)
+
+
+# ----------------------------------------------------------------------
+# scenario registry
+# ----------------------------------------------------------------------
+def test_scenario_registry_contains_the_new_scenarios():
+    names = scenario_names()
+    for expected in ("adversarial", "fraud", "iot", "matmul", "retail"):
+        assert expected in names
+
+
+def test_scenario_registry_rejects_unknown_names_helpfully():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get_scenario("definitely-not-a-scenario")
+
+
+def test_iot_scenario_stream_is_churn_balanced():
+    scenario = get_scenario("iot")
+    database = scenario.make_database(0, 0.05)
+    stream = scenario.make_stream(database, 100, 1)
+    deletes = sum(1 for update in stream if update.is_delete)
+    # a sliding window deletes (almost) as much as it inserts
+    assert deletes >= len(stream) // 3
+
+
+def test_adversarial_scenario_forces_rebalancing():
+    scenario = get_scenario("adversarial")
+    database = scenario.make_database(0, 0.2)
+    stream = scenario.make_stream(database, 240, 1)
+    engine = HierarchicalEngine(scenario.query, epsilon=0.5).load(database)
+    truth = NaiveRecomputeEngine(scenario.query).load(database)
+    engine.apply_stream(stream)
+    truth.apply_stream(stream)
+    assert engine.result() == truth.result()
+    engine.check_invariants()
+    stats = engine.rebalance_stats
+    assert stats is not None and stats.minor_rebalances > 0
