@@ -4,13 +4,24 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test fuzz-smoke bench-smoke bench-batch docs-check install-dev
+.PHONY: test coverage fuzz-smoke bench-smoke bench-batch bench-sharded docs-check install-dev
 
-## Tier-1 verification: the full test suite (fail-fast), then the seeded
-## conformance fuzz smoke pass.
+## Tier-1 verification: the coverage gate first — it runs the full test
+## suite exactly once (fail-fast, under the line collector when pytest-cov
+## is absent) and fails on any test failure or on coverage below the
+## pinned baseline — then the seeded conformance fuzz smoke pass, so a
+## plain unit-test regression surfaces as a unit-test failure rather than
+## a shrunk fuzz artifact.
 test:
-	$(PY) -m pytest -x -q
+	$(MAKE) --no-print-directory coverage
 	$(MAKE) --no-print-directory fuzz-smoke
+
+## Line-coverage gate: `pytest --cov=repro --cov-fail-under=<baseline>`
+## when pytest-cov is installed, a stdlib sys.settrace collector otherwise
+## (tools/coverage_gate.py).  The threshold is pinned at the measured
+## baseline of the stdlib collector; raise it as coverage grows.
+coverage:
+	$(PY) tools/coverage_gate.py
 
 ## Differential conformance fuzzing, seeded and time-boxed (~30s).  The case
 ## sequence is deterministic for a given seed; failures are shrunk and
@@ -25,6 +36,11 @@ bench-smoke:
 ## Full-scale batched-ingestion benchmark (writes benchmarks/results/).
 bench-batch:
 	$(PY) -m pytest benchmarks/bench_batch_updates.py -q
+
+## Sharded scaling benchmark: per-tuple maintenance throughput vs shard
+## count on the adversarial hot_shard scenario (asserts >=2x at 4 shards).
+bench-sharded:
+	$(PY) -m pytest benchmarks/bench_sharded_scaling.py -q
 
 ## Fail if any public module under src/repro/ lacks a module docstring.
 docs-check:

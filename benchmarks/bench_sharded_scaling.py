@@ -1,0 +1,155 @@
+"""Sharded maintenance: per-tuple throughput vs shard count.
+
+The sharded engine hash-partitions base relations on the planner-chosen
+shard key, so every shard plans against a fraction of the data and its
+heavy/light threshold ``M_shard^ε`` drops below the single engine's.  On
+the ``hot_shard`` scenario — the adversarial heavy-key workload whose hot
+join values have degree *between* the per-shard and the global threshold —
+this flips every hot key from the light regime (each update pays
+``O(degree)`` propagation into materialized light join views) into the
+heavy regime (``O(1)`` per update, work deferred to enumeration).  The
+speedup below is therefore *algorithmic*: all configurations run the
+serial executor on one core, no parallelism involved; the process executor
+adds machine parallelism on top on multi-core hosts.
+
+The recorded table asserts the headline claim: per-tuple maintenance
+throughput at 4 shards is at least 2× the 1-shard throughput, with the
+final query result identical across every shard count and equal to the
+unsharded engine's.
+"""
+
+import time
+
+import pytest
+
+from repro import HierarchicalEngine, ShardedEngine
+from repro.workloads import HOT_SHARD_QUERY, hot_shard_database, hot_shard_stream
+from benchmarks.conftest import scaled
+
+SIZE = scaled(2000)
+UPDATES = max(scaled(2500), 200)
+HOT_KEYS = 16
+SHARD_COUNTS = (1, 2, 4, 7)
+EPSILON = 0.5
+
+
+ATTEMPTS = 2  # best-of-N: noise on a busy host only ever inflates a run
+
+
+def _ingest(engine, stream):
+    started = time.perf_counter()
+    for update in stream:
+        engine.apply(update)
+    return time.perf_counter() - started
+
+
+def _measure(make_engine, database, stream):
+    """Load + ingest ``ATTEMPTS`` times on fresh engines; keep the fastest.
+
+    Single-shot timings on a shared single-core box occasionally absorb a
+    multi-x scheduling spike; taking the best attempt makes the asserted
+    throughput ratios reflect the engines, not the neighbours.
+    """
+    best = None
+    for _ in range(ATTEMPTS):
+        engine = make_engine()
+        started = time.perf_counter()
+        engine.load(database)
+        load_s = time.perf_counter() - started
+        maintain_s = _ingest(engine, stream)
+        if best is None or maintain_s < best[2]:
+            if best is not None and hasattr(best[0], "close"):
+                best[0].close()
+            best = (engine, load_s, maintain_s)
+        elif hasattr(engine, "close"):
+            engine.close()
+    return best
+
+
+@pytest.fixture(scope="module")
+def sharded_scaling_rows(figure_report):
+    database = hot_shard_database(
+        size=SIZE, hot_keys=HOT_KEYS, epsilon=EPSILON, seed=201
+    )
+    stream = hot_shard_stream(UPDATES, hot_keys=HOT_KEYS, seed=202)
+
+    rows = []
+    results = {}
+
+    single, single_load_s, single_s = _measure(
+        lambda: HierarchicalEngine(HOT_SHARD_QUERY, epsilon=EPSILON),
+        database,
+        stream,
+    )
+    results["unsharded"] = single.result()
+    rows.append(
+        {
+            "engine": "unsharded",
+            "shards": 1,
+            "load_s": single_load_s,
+            "maintain_s": single_s,
+            "per_tuple_us": single_s / len(stream) * 1e6,
+            "tuples_per_s": len(stream) / single_s,
+            "minor_rebalances": single.rebalance_stats.minor_rebalances,
+            "major_rebalances": single.rebalance_stats.major_rebalances,
+        }
+    )
+
+    for shards in SHARD_COUNTS:
+        engine, load_s, maintain_s = _measure(
+            lambda: ShardedEngine(
+                HOT_SHARD_QUERY, shards=shards, epsilon=EPSILON, executor="serial"
+            ),
+            database,
+            stream,
+        )
+        results[shards] = engine.result()
+        stats = engine.rebalance_stats
+        rows.append(
+            {
+                "engine": "sharded(serial)",
+                "shards": shards,
+                "load_s": load_s,
+                "maintain_s": maintain_s,
+                "per_tuple_us": maintain_s / len(stream) * 1e6,
+                "tuples_per_s": len(stream) / maintain_s,
+                "minor_rebalances": stats.minor_rebalances,
+                "major_rebalances": stats.major_rebalances,
+            }
+        )
+        engine.close()
+
+    base = next(r for r in rows if r["engine"] == "sharded(serial)" and r["shards"] == 1)
+    for row in rows:
+        row["speedup_vs_1shard"] = row["tuples_per_s"] / base["tuples_per_s"]
+    figure_report.record(
+        "Sharded scaling: per-tuple maintenance throughput on hot_shard "
+        f"(N={database.size}, eps={EPSILON}, serial executor)",
+        rows,
+    )
+
+    # every shard count must land on the exact unsharded result
+    for shards in SHARD_COUNTS:
+        assert results[shards] == results["unsharded"]
+    return rows
+
+
+def test_4_shards_at_least_2x_1_shard(sharded_scaling_rows, benchmark):
+    benchmark(lambda: None)
+    by_shards = {
+        row["shards"]: row
+        for row in sharded_scaling_rows
+        if row["engine"] == "sharded(serial)"
+    }
+    assert by_shards[4]["tuples_per_s"] >= 2.0 * by_shards[1]["tuples_per_s"]
+
+
+def test_sharding_monotone_region(sharded_scaling_rows, benchmark):
+    """2 shards must already beat 1 shard on the adversarial heavy-key load."""
+    benchmark(lambda: None)
+    by_shards = {
+        row["shards"]: row
+        for row in sharded_scaling_rows
+        if row["engine"] == "sharded(serial)"
+    }
+    assert by_shards[2]["tuples_per_s"] > by_shards[1]["tuples_per_s"]

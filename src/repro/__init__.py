@@ -30,6 +30,7 @@ from repro.query.atom import Atom, atom
 from repro.query.classes import classify
 from repro.query.conjunctive import ConjunctiveQuery, query
 from repro.query.parser import parse_query
+from repro.sharding import ShardedEngine
 from repro.widths.dynamic_width import dynamic_width
 from repro.widths.static_width import static_width
 
@@ -42,6 +43,7 @@ __all__ = [
     "DynamicEngine",
     "HierarchicalEngine",
     "Relation",
+    "ShardedEngine",
     "StaticEngine",
     "Update",
     "UpdateBatch",

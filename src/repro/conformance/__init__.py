@@ -19,8 +19,9 @@ every ε.  This package turns that claim into an executable oracle:
   checkpoint;
 * :mod:`repro.conformance.metamorphic` states the metamorphic properties
   (insert-then-delete is a no-op, permuting a consolidated batch is
-  result-invariant, a partitioned stream equals the whole) checked both by
-  the Hypothesis test-suite and the fuzzer;
+  result-invariant, a partitioned stream equals the whole, shard-merged
+  execution is indistinguishable from a single engine) checked both by the
+  Hypothesis test-suite and the fuzzer;
 * :mod:`repro.conformance.shrink` reduces a failing case to a minimal repro
   and serializes it to a JSON file that ``tools/fuzz.py --repro`` replays.
 
@@ -33,6 +34,7 @@ from repro.conformance.metamorphic import (
     check_batch_permutation_invariance,
     check_insert_delete_noop,
     check_partition_union,
+    check_shard_merge,
 )
 from repro.conformance.queries import (
     LabeledQuery,
@@ -62,6 +64,7 @@ __all__ = [
     "check_insert_delete_noop",
     "check_partition_union",
     "check_query_conformance",
+    "check_shard_merge",
     "load_case",
     "random_database",
     "random_labeled_query",

@@ -14,7 +14,11 @@ DBToaster lineage classically check):
   the relation-group processing order) must not matter;
 * **a partitioned stream equals the whole** — cutting a stream into
   consecutive consolidated chunks, or consolidating it into one batch,
-  must land on the same final result as the one-tuple-at-a-time replay.
+  must land on the same final result as the one-tuple-at-a-time replay;
+* **shard-merging is invisible** — running the same workload through
+  :class:`~repro.sharding.ShardedEngine` at any shard count must produce
+  exactly the single engine's result, enumerated in canonical order, with
+  every per-shard and cross-shard invariant intact.
 
 Each check takes an ``engine_factory`` so it runs identically against
 :class:`~repro.core.api.HierarchicalEngine` at any ε and against every
@@ -29,8 +33,12 @@ import random
 from typing import Callable, Sequence
 
 from repro.core.api import HierarchicalEngine
+from repro.core.planner import is_shardable
 from repro.data.database import Database
 from repro.data.update import Update
+from repro.enumeration.union import sort_shard_result
+from repro.exceptions import UnsupportedQueryError
+from repro.sharding import ShardedEngine
 
 EngineFactory = Callable[[], object]
 
@@ -118,3 +126,54 @@ def check_partition_union(
     )
     for engine in (sequential, whole, chunked):
         _maybe_check_invariants(engine)
+
+
+def check_shard_merge(
+    query: str,
+    epsilon: float,
+    database: Database,
+    updates: Sequence[Update],
+    shard_counts: Sequence[int] = (1, 2, 4, 7),
+) -> None:
+    """Sharded execution must be indistinguishable from a single engine.
+
+    For every shard count: identical result dictionary, enumeration equal
+    to the single engine's result re-sorted canonically (same tuples, same
+    multiplicities, canonical order), and all per-shard plus cross-shard
+    placement invariants intact — after the full stream, so any minor/major
+    rebalances along the way are covered too.  Unshardable queries
+    (disconnected bodies) must be *rejected* by the sharded gate while the
+    single engine still accepts them.
+    """
+    updates = list(updates)
+    single = HierarchicalEngine(query, epsilon=epsilon)
+    if not is_shardable(single.query):
+        try:
+            ShardedEngine(query, shards=2, epsilon=epsilon)
+        except UnsupportedQueryError:
+            return
+        raise AssertionError(
+            f"shard gate accepted unshardable query {query!r}"
+        )
+    single.load(database)
+    for update in updates:
+        single.apply(update)
+    expected = dict(single.result())
+    expected_sequence = sort_shard_result(expected.items())
+    for shards in shard_counts:
+        sharded = ShardedEngine(
+            query, shards=shards, epsilon=epsilon, executor="serial"
+        )
+        sharded.load(database)
+        for update in updates:
+            sharded.apply(update)
+        merged = list(sharded.enumerate())
+        # equality against the canonically sorted single-engine sequence
+        # covers tuples, multiplicities, AND enumeration order at once
+        assert merged == expected_sequence, (
+            f"shard count {shards}: merged enumeration diverges from the "
+            f"single engine ({len(merged)} vs {len(expected_sequence)} tuples)"
+        )
+        sharded.check_invariants()
+        sharded.close()
+    _maybe_check_invariants(single)

@@ -11,7 +11,11 @@ case executes the same workload through:
 * :class:`~repro.baselines.first_order_ivm.FirstOrderIVMEngine` and
   :class:`~repro.baselines.full_materialization.FullMaterializationEngine`;
 * :class:`~repro.baselines.free_connex.FreeConnexEngine` when the query is
-  free-connex.
+  free-connex;
+* :class:`~repro.sharding.ShardedEngine` at shard counts
+  :data:`SHARD_COUNTS` when the query is shardable, alternating sequential
+  and batched ingestion — sharded execution must be indistinguishable from
+  the naive oracle exactly like a single engine.
 
 At every checkpoint the runner diffs each engine's full result against the
 oracle, diffs the *result delta* since the previous checkpoint (so a
@@ -31,13 +35,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.first_order_ivm import FirstOrderIVMEngine
 from repro.baselines.free_connex import FreeConnexEngine
 from repro.baselines.full_materialization import FullMaterializationEngine
 from repro.baselines.naive import NaiveRecomputeEngine
 from repro.core.api import HierarchicalEngine
+from repro.core.planner import is_shardable
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateStream
@@ -45,8 +50,17 @@ from repro.exceptions import ReproError, UnsupportedQueryError
 from repro.query.classes import classify
 from repro.query.hypergraph import is_free_connex
 from repro.query.parser import parse_query
+from repro.sharding import ShardedEngine
 
 DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 0.5, 1.0)
+
+# Every differential run exercises the sharded engine at these shard
+# counts (sequential and batched ingestion alternate so both dispatch
+# paths stay covered): 1 — the degenerate deployment must match exactly;
+# 2 and 4 — genuine splits, including shards that receive no data; 7 —
+# coprime with the hash mixing and larger than most tiny test databases,
+# so empty shards and single-tuple shards both occur.
+SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 7)
 
 ResultDict = Dict[ValueTuple, int]
 
@@ -242,7 +256,9 @@ def _delta(previous: ResultDict, current: ResultDict) -> ResultDict:
     return delta
 
 
-def _check_enumeration(engine: HierarchicalEngine) -> Optional[str]:
+def _check_enumeration(
+    engine: Union[HierarchicalEngine, ShardedEngine]
+) -> Optional[str]:
     """Enumeration-order invariants: deterministic, duplicate-free, positive."""
     first = list(engine.enumerate())
     second = list(engine.enumerate())
@@ -298,6 +314,21 @@ def _build_runners(
         runners.append(
             _Runner("free-connex", FreeConnexEngine(case.query).load(database), False)
         )
+    if supported and is_shardable(case.query):
+        epsilon = case.epsilons[len(case.epsilons) // 2] if case.epsilons else 0.5
+        for index, shards in enumerate(SHARD_COUNTS):
+            runners.append(
+                _Runner(
+                    f"sharded(n={shards},eps={epsilon})",
+                    ShardedEngine(
+                        case.query,
+                        shards=shards,
+                        epsilon=epsilon,
+                        executor="serial",
+                    ).load(database),
+                    index % 2 == 1,
+                )
+            )
     return runners, oracle
 
 
@@ -323,6 +354,34 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                 detail=(
                     f"planner {'accepted' if gate_ok else 'rejected'} the query but "
                     f"hierarchical={supported}"
+                ),
+            )
+        )
+        return ConformanceReport(
+            query=case.query,
+            supported=supported,
+            engines=(),
+            checkpoints_run=0,
+            mismatches=mismatches,
+        )
+
+    # shard gate: the sharded planner must accept exactly the shardable
+    # sub-fragment — hierarchical AND some variable occurs in every atom
+    shard_gate_ok = True
+    try:
+        ShardedEngine(case.query, shards=2)
+    except UnsupportedQueryError:
+        shard_gate_ok = False
+    shardable = supported and is_shardable(case.query)
+    if shard_gate_ok != shardable:
+        mismatches.append(
+            Mismatch(
+                engine="shard-planner",
+                checkpoint=-1,
+                kind="shard-gate",
+                detail=(
+                    f"shard gate {'accepted' if shard_gate_ok else 'rejected'} "
+                    f"the query but shardable={shardable}"
                 ),
             )
         )
@@ -372,7 +431,7 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                     )
             runner.previous = observed
             engine = runner.engine
-            if isinstance(engine, HierarchicalEngine):
+            if isinstance(engine, (HierarchicalEngine, ShardedEngine)):
                 enumeration_problem = _check_enumeration(engine)
                 if enumeration_problem is not None:
                     mismatches.append(

@@ -33,6 +33,15 @@ The ``epsilon`` parameter is the paper's trade-off knob: preprocessing runs
 in ``O(N^{1+(w−1)ε})``, enumeration delay is ``O(N^{1−ε})``, and (in dynamic
 mode) single-tuple updates take ``O(N^{δε})`` amortized time, where ``w`` and
 ``δ`` are the static and dynamic widths of the query (Theorems 2 and 4).
+
+Beyond a single engine, :class:`repro.sharding.ShardedEngine` mirrors this
+facade (``apply_update`` / ``apply_batch`` / ``apply_stream`` /
+``enumerate`` / ``check_invariants``) over a pool of per-shard
+``HierarchicalEngine`` instances, hash-partitioned on the planner-chosen
+shard key exposed here as the :attr:`HierarchicalEngine.shard_key`
+property — the shard-aware planner gate: queries whose atoms share no
+common variable are rejected for sharding even though a single engine
+accepts them.
 """
 
 from __future__ import annotations
@@ -102,6 +111,20 @@ class HierarchicalEngine:
     def classification(self):
         """Class membership summary of the query (Figure 2 landscape)."""
         return self.plan.classification
+
+    @property
+    def shard_key(self) -> str:
+        """The variable a sharded deployment would hash-partition on.
+
+        This is the shard-aware planner gate shared with
+        :class:`repro.sharding.ShardedEngine` (whose ``shard_key``
+        attribute holds the same value): the planner-chosen variable
+        occurring in every atom (preferring free variables, then sorted
+        order).  Raises
+        :class:`~repro.exceptions.UnsupportedQueryError` for queries that
+        cannot keep joins shard-local (disconnected bodies).
+        """
+        return self.plan.shard_key()
 
     @property
     def database(self) -> Database:

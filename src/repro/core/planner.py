@@ -64,6 +64,49 @@ def validate_query(query: ConjunctiveQuery, mode: str) -> QueryClassification:
     return classification
 
 
+def choose_shard_key(query) -> str:
+    """Pick the shard-key variable for hash-partitioned execution.
+
+    A variable can route every base tuple to a single shard only when it
+    occurs in *every* atom: then any two joining tuples agree on its value,
+    so joins — and therefore delta propagation and rebalancing — stay
+    entirely shard-local.  For a connected hierarchical query such a
+    variable always exists (the atom sets of a hierarchical query form a
+    laminar family, so connectivity forces one variable's atom set to cover
+    the whole body); for a disconnected query none can, and the sharded
+    engine is rejected here rather than silently producing cross-shard
+    joins.
+
+    Among the candidates the planner prefers a *free* variable (result
+    tuples then carry the shard key, so shards enumerate disjoint results
+    and the k-way merge never has to sum multiplicities across shards) and
+    breaks remaining ties by sorted order, keeping the choice deterministic.
+    """
+    cq = coerce_query(query)
+    candidates = [
+        v for v in sorted(cq.variables) if len(cq.atoms_of(v)) == len(cq.atoms)
+    ]
+    if not candidates:
+        raise UnsupportedQueryError(
+            f"query {cq} has no variable occurring in every atom (it is "
+            "disconnected), so hash-partitioning cannot keep joins "
+            "shard-local; shard each connected component separately instead"
+        )
+    for variable in candidates:
+        if variable in cq.free_variables:
+            return variable
+    return candidates[0]
+
+
+def is_shardable(query) -> bool:
+    """True when :func:`choose_shard_key` accepts the query."""
+    try:
+        choose_shard_key(query)
+    except UnsupportedQueryError:
+        return False
+    return True
+
+
 def validate_database(query: ConjunctiveQuery, database: Database) -> None:
     """Check that the database provides every relation with the right arity."""
     for atom in query.atoms:
@@ -106,6 +149,14 @@ class QueryPlan:
         if self.mode == DYNAMIC_MODE:
             exponents["update"] = self.dynamic_width * epsilon
         return exponents
+
+    def shard_key(self) -> str:
+        """The planner-chosen shard-key variable (:func:`choose_shard_key`).
+
+        Raises :class:`UnsupportedQueryError` when the query cannot be
+        hash-partitioned (no variable occurs in every atom).
+        """
+        return choose_shard_key(self.query)
 
     def describe(self) -> str:
         lines = [

@@ -14,15 +14,70 @@ Only the light part ``R^S`` is materialized as its own relation (that is what
 the skew-aware view trees join over); the heavy part is ``R`` minus the keys
 present in the light part.  The :class:`Partition` class tracks both and
 offers the consistency checks exercised by the property-based tests.
+
+This module also hosts the *horizontal* partitioning primitives
+(:func:`stable_hash`, :func:`shard_of`) used by
+:mod:`repro.sharding` to hash base tuples onto shards by their shard-key
+value — kept here so every notion of "splitting a relation" lives in one
+place and the hash stays importable from worker processes without pulling
+in the engine.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.data.relation import Relation
 from repro.data.schema import Schema, ValueTuple, ordered
 from repro.exceptions import InvariantViolationError
+
+
+def canonical_key_value(value: object) -> object:
+    """Collapse values that are equal under Python semantics onto one form.
+
+    Tuple equality in relations follows ``==``, where ``1 == 1.0 == True``;
+    shard routing and canonical ordering must agree with that, or a delete
+    written as ``(10, 1.0)`` would route to a different shard than the
+    stored ``(10, 1)``.  Booleans become ints and integral floats become
+    ints; everything else is returned unchanged.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent hash of one shard-key value.
+
+    Shard routing must agree across runs and across worker processes, so it
+    cannot use Python's built-in ``hash`` (string hashing is salted per
+    process via ``PYTHONHASHSEED``).  CRC32 over the ``repr`` of the
+    canonicalized value (see :func:`canonical_key_value`) is stable, cheap,
+    and spreads the small integer domains of the workloads well once mixed
+    through a multiplier below.
+    """
+    return zlib.crc32(repr(canonical_key_value(value)).encode("utf-8"))
+
+
+def shard_of(value: object, shard_count: int) -> int:
+    """Map one shard-key value to a shard index in ``[0, shard_count)``.
+
+    Deterministic across processes and runs (see :func:`stable_hash`); used
+    by the sharded engine to route base tuples and updates, and by
+    cross-shard invariant checks to verify that every stored tuple lives on
+    the shard its key hashes to.
+    """
+    if shard_count <= 0:
+        raise ValueError(f"shard count must be positive, got {shard_count}")
+    if shard_count == 1:
+        return 0
+    # Fibonacci-style multiplicative mixing: CRC32 of small consecutive
+    # integers is itself poorly distributed in the low bits.
+    mixed = (stable_hash(value) * 0x9E3779B1) & 0xFFFFFFFF
+    return mixed % shard_count
 
 
 def light_part_name(relation_name: str, keys: Iterable[str]) -> str:

@@ -171,6 +171,33 @@ class UpdateBatch:
             for tup, mult in group.items():
                 yield Update(relation, tup, mult)
 
+    def split_by(
+        self, classify: Callable[[str, ValueTuple], int]
+    ) -> Dict[int, "UpdateBatch"]:
+        """Partition the net deltas into sub-batches by a routing function.
+
+        ``classify(relation, tuple)`` names the bucket (e.g. the shard index)
+        of one net entry; entries are folded into one sub-batch per bucket
+        via :meth:`add_delta`.  Buckets that receive no entry are absent from
+        the result — in particular, a batch whose net effect is empty splits
+        into an *empty mapping*, never into empty sub-batches, so routing a
+        fully-cancelled batch dispatches no work anywhere (the boundary
+        contract shared with :meth:`UpdateStream.batches`, which *does* yield
+        fully-cancelled batches so source-update accounting stays exact).
+
+        Each sub-batch's ``source_count`` equals its number of net entries:
+        the original per-update attribution cannot be reconstructed from net
+        deltas, so callers that need exact per-bucket source counts should
+        route the raw updates *before* consolidating (the sharded engine does
+        this when handed a stream rather than a batch).
+        """
+        buckets: Dict[int, "UpdateBatch"] = {}
+        for relation, group in self._deltas.items():
+            for tup, mult in group.items():
+                bucket = buckets.setdefault(classify(relation, tup), UpdateBatch())
+                bucket.add(Update(relation, tup, mult))
+        return buckets
+
     def validate_against(self, database: Database) -> None:
         """Raise :class:`RejectedUpdateError` if any net delete over-deletes.
 
@@ -218,6 +245,20 @@ def as_batch(updates: Union["UpdateBatch", Iterable[Update]]) -> "UpdateBatch":
     return UpdateBatch(updates)
 
 
+def validate_batch_size(size: int) -> int:
+    """Reject non-integer or non-positive batch sizes with a uniform error.
+
+    Shared by :func:`iter_batches` and the sharded engine's stream chunking
+    so both ingestion paths accept exactly the same sizes.  Returns the
+    validated size.
+    """
+    if not isinstance(size, int) or isinstance(size, bool):
+        raise ValueError(f"batch size must be an integer, got {size!r}")
+    if size <= 0:
+        raise ValueError(f"batch size must be positive, got {size}")
+    return size
+
+
 def iter_batches(
     updates: Iterable[Update], size: int
 ) -> Iterator["UpdateBatch"]:
@@ -227,11 +268,7 @@ def iter_batches(
     happens at call time, not lazily at the first ``next()``, so a bad batch
     size can never be mistaken for an empty stream.
     """
-    if not isinstance(size, int) or isinstance(size, bool):
-        raise ValueError(f"batch size must be an integer, got {size!r}")
-    if size <= 0:
-        raise ValueError(f"batch size must be positive, got {size}")
-    return _iter_batches(updates, size)
+    return _iter_batches(updates, validate_batch_size(size))
 
 
 def _iter_batches(updates: Iterable[Update], size: int) -> Iterator["UpdateBatch"]:
@@ -286,6 +323,22 @@ class UpdateStream:
     def consolidated(self) -> UpdateBatch:
         """Consolidate the entire stream into a single batch."""
         return UpdateBatch(self._updates)
+
+    def split_by(
+        self, classify: Callable[[Update], int]
+    ) -> Dict[int, "UpdateStream"]:
+        """Partition the stream into sub-streams by a routing function.
+
+        Order is preserved within each sub-stream.  Unlike
+        :meth:`UpdateBatch.split_by` this routes *source* updates, so
+        per-bucket ``source_count`` accounting stays exact after the
+        sub-streams are consolidated — including updates that later cancel
+        inside a bucket's batch.
+        """
+        buckets: Dict[int, "UpdateStream"] = {}
+        for update in self._updates:
+            buckets.setdefault(classify(update), UpdateStream()).append(update)
+        return buckets
 
     def apply_to(self, database: Database) -> None:
         """Apply every update directly to the base relations of ``database``.

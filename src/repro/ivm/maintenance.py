@@ -254,7 +254,7 @@ class BatchUpdateProcessor:
     # ------------------------------------------------------------------
     # main entry point
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> None:
+    def apply_batch(self, batch: UpdateBatch, validated: bool = False) -> None:
         """Process one consolidated batch (Figure 19 steps, grouped).
 
         The batch is validated up front — every relation must occur in the
@@ -262,9 +262,13 @@ class BatchUpdateProcessor:
         multiplicity — so a rejected batch raises *before* any relation,
         view, or indicator is touched (all-or-nothing ingestion, unlike the
         sequential path where a mid-stream rejection keeps the updates that
-        preceded it).
+        preceded it).  ``validated=True`` skips that pass for callers that
+        already ran it — the sharded engine pre-validates every involved
+        shard in a separate round to make *cross-shard* ingestion atomic,
+        and must not pay for the same walk twice.
         """
-        self._validate_batch(batch)
+        if not validated:
+            self._validate_batch(batch)
         for relation_name in batch.relations():
             self._apply_group(batch, relation_name)
 

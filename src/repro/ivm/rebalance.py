@@ -58,6 +58,35 @@ class RebalanceStats:
             "moved_to_heavy": self.moved_to_heavy,
         }
 
+    def add(self, other: "RebalanceStats") -> "RebalanceStats":
+        """Accumulate another driver's counters into this one (in place).
+
+        Sharded execution keeps one :class:`MaintenanceDriver` per shard so
+        minor/major rebalances stay shard-local; the facade reports a fleet
+        view by folding the per-shard counters together with this method.
+        Returns ``self`` for chaining.
+        """
+        self.updates += other.updates
+        self.batches += other.batches
+        self.minor_rebalances += other.minor_rebalances
+        self.major_rebalances += other.major_rebalances
+        self.moved_to_light += other.moved_to_light
+        self.moved_to_heavy += other.moved_to_heavy
+        return self
+
+    @classmethod
+    def merged(cls, stats: Iterable["RebalanceStats"]) -> "RebalanceStats":
+        """Fold any number of per-shard counters into one aggregate."""
+        total = cls()
+        for entry in stats:
+            total.add(entry)
+        return total
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, int]) -> "RebalanceStats":
+        """Rebuild counters from :meth:`as_dict` (crosses process pipes)."""
+        return cls(**raw)
+
 
 class MaintenanceDriver:
     """The ``OnUpdate`` trigger: update processing plus rebalancing."""
@@ -112,16 +141,22 @@ class MaintenanceDriver:
         for update in updates:
             self.on_update(update)
 
-    def on_batch(self, batch: Union[UpdateBatch, Iterable[Update]]) -> None:
+    def on_batch(
+        self,
+        batch: Union[UpdateBatch, Iterable[Update]],
+        validated: bool = False,
+    ) -> None:
         """Process one consolidated batch with a single deferred rebalance check.
 
         The whole batch is absorbed through
         :class:`~repro.ivm.maintenance.BatchUpdateProcessor` first; the size
         invariant and the per-key loose thresholds are then restored in one
         pass over the touched keys instead of once per source update.
+        ``validated=True`` forwards the sharded engine's pre-validation so
+        the batch processor skips its own redundant pass.
         """
         batch = as_batch(batch)
-        self.batch_processor.apply_batch(batch)
+        self.batch_processor.apply_batch(batch, validated=validated)
         self.stats.updates += batch.source_count
         self.stats.batches += 1
         if not self.enable_rebalancing:

@@ -1,0 +1,348 @@
+"""The sharded maintenance engine: hash-partitioned IVM^ε.
+
+:class:`ShardedEngine` mirrors the :class:`~repro.core.api.HierarchicalEngine`
+facade over a fleet of per-shard engines:
+
+* **routing** — base relations are hash-partitioned on the planner-chosen
+  shard key (a variable occurring in every atom, see
+  :func:`repro.core.planner.choose_shard_key`), so joins, delta propagation,
+  and minor/major rebalancing are shard-local by construction;
+* **updates** — ``apply_update`` routes one update to its shard;
+  ``apply_batch`` splits a batch (or folds a raw stream) into per-shard
+  sub-batches and dispatches them through the executor in one round;
+* **enumeration** — every shard enumerates its result in the canonical
+  order and :func:`repro.enumeration.union.merge_shards` performs an
+  order-preserving k-way merge, summing multiplicities of tuples produced
+  by several shards (possible only when the shard key is bound);
+* **invariants** — ``check_invariants`` runs every shard's deep probe plus
+  the cross-shard placement check (every stored tuple hashes to the shard
+  holding it).
+
+Why shard at all?  Each shard plans against its own (four-times-smaller, at
+four shards) database, so its heavy/light threshold ``M_shard^ε`` drops:
+join keys whose degree sits between the per-shard and the global threshold
+flip from the light regime (every update pays ``O(degree)`` propagation
+into materialized join views) to the heavy regime (updates cost ``O(1)``;
+the work is deferred to enumeration).  On skewed update traffic this is a
+superlinear win per shard *before* any parallelism — and the process
+executor adds real parallelism on multi-core hosts.  The flip side: more
+heavy keys means more enumeration-time work and the merge gives up the
+single engine's native enumeration order for the canonical one; see
+``docs/architecture.md`` §9 for when shard count > 1 loses.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.planner import QueryPlan, coerce_query, plan_query
+from repro.data.database import Database
+from repro.data.schema import ValueTuple
+from repro.data.update import Update, UpdateBatch, validate_batch_size
+from repro.enumeration.union import merge_shards
+from repro.exceptions import ReproError
+from repro.ivm.rebalance import RebalanceStats
+from repro.sharding.executor import EXECUTORS, ShardExecutor
+from repro.sharding.router import ShardRouter
+from repro.views.build import DYNAMIC_MODE
+
+# Below this database size the automatic executor stays in-process: the
+# per-update pipe/pickle overhead of worker processes only amortizes once
+# shards hold enough data for maintenance work to dominate dispatch.
+SMALL_N_THRESHOLD = 50_000
+
+
+class ShardMergeEnumerator:
+    """Iterable over the merged shard enumerations (mirrors ResultEnumerator)."""
+
+    def __init__(self, engine: "ShardedEngine") -> None:
+        self._engine = engine
+
+    def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
+        return merge_shards(self._engine._sorted_shard_results())
+
+    def to_dict(self) -> Dict[ValueTuple, int]:
+        """Materialize the merged enumeration into ``{tuple: multiplicity}``."""
+        return {tup: mult for tup, mult in self}
+
+    def count_distinct(self) -> int:
+        """Number of distinct result tuples across all shards."""
+        return sum(1 for _ in self)
+
+
+class ShardedEngine:
+    """Hash-partitioned evaluation of one hierarchical query over k shards."""
+
+    def __init__(
+        self,
+        query,
+        shards: int = 4,
+        epsilon: float = 0.5,
+        mode: str = DYNAMIC_MODE,
+        enable_rebalancing: bool = True,
+        executor: str = "auto",
+        shard_key: Optional[str] = None,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shard count must be positive, got {shards}")
+        if not 0.0 <= epsilon <= 1.0:
+            # fail here like the single-engine facade, not later inside a
+            # worker process
+            raise ValueError("epsilon must lie in [0, 1]")
+        if executor not in ("auto", *EXECUTORS):
+            raise ValueError(
+                f"unknown executor {executor!r}; choose one of "
+                f"{('auto', *EXECUTORS)}"
+            )
+        self.plan: QueryPlan = plan_query(coerce_query(query), mode)
+        self.query = self.plan.query
+        self.shards = shards
+        self.epsilon = epsilon
+        self.mode = mode
+        self.enable_rebalancing = enable_rebalancing
+        self.executor_choice = executor
+        # the shard-aware planner gate: raises for unshardable queries
+        self.router = ShardRouter(self.query, shards, shard_key)
+        self.shard_key = self.router.shard_key
+        self._executor: Optional[ShardExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _resolve_executor(self, database_size: int) -> str:
+        if self.executor_choice != "auto":
+            return self.executor_choice
+        cores = os.cpu_count() or 1
+        if (
+            self.shards > 1
+            and cores > 1
+            and database_size >= SMALL_N_THRESHOLD
+        ):
+            return "process"
+        # threaded fallback for small N (and single-core hosts): same
+        # concurrent dispatch path, none of the pipe/pickle overhead
+        return "thread" if self.shards > 1 else "serial"
+
+    def load(self, database: Database) -> "ShardedEngine":
+        """Split ``database`` across the shards and preprocess each shard.
+
+        Splitting always copies, so the caller's relations are never shared
+        with (or mutated by) the shard engines.
+        """
+        if self._executor is not None:
+            self.close()
+        shard_databases = self.router.split_database(database)
+        self.executor_name = self._resolve_executor(database.size)
+        self._executor = EXECUTORS[self.executor_name]()
+        self._executor.start(
+            str(self.query),
+            {
+                "epsilon": self.epsilon,
+                "mode": self.mode,
+                "enable_rebalancing": self.enable_rebalancing,
+                "copy_database": False,
+            },
+            shard_databases,
+            self.router.shard_key,
+        )
+        return self
+
+    def close(self) -> None:
+        """Shut down the executor (terminates worker processes, if any)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _require_loaded(self) -> ShardExecutor:
+        if self._executor is None:
+            raise ReproError("the engine has no database; call load() first")
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        """Apply a single-tuple update ``δR = {tup → multiplicity}``."""
+        self.apply(Update(relation, tuple(tup), multiplicity))
+
+    def insert(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        """Insert ``multiplicity`` copies of ``tup`` into ``relation``."""
+        self.update(relation, tup, abs(multiplicity))
+
+    def delete(self, relation: str, tup: ValueTuple, multiplicity: int = 1) -> None:
+        """Delete ``multiplicity`` copies of ``tup`` from ``relation``."""
+        self.update(relation, tup, -abs(multiplicity))
+
+    def apply(self, update: Update) -> None:
+        """Route one update to its shard and apply it there."""
+        executor = self._require_loaded()
+        executor.call(
+            self.router.shard_of_update(update),
+            "update",
+            (update.relation, update.tuple, update.multiplicity),
+        )
+
+    apply_update = apply
+
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[Update]]) -> None:
+        """Split a batch by shard and ingest every sub-batch in one round.
+
+        Raw iterables and streams are routed *before* consolidation so each
+        shard's ``source_count`` accounting is exact (a shard whose updates
+        all cancel still receives its empty-net batch, mirroring the
+        unsharded driver's bookkeeping).  An already-consolidated
+        :class:`UpdateBatch` splits by net entry; if its net effect is
+        empty, no shard receives any work at all.
+
+        Ingestion is all-or-nothing across shards, like the single engine's
+        batch path: when a batch spans several shards, a validation round
+        (dry-run over-delete checks on every involved shard) runs before
+        any shard applies anything, so a rejected sub-batch raises with no
+        shard modified.
+        """
+        executor = self._require_loaded()
+        if isinstance(updates, UpdateBatch):
+            sub_batches = self.router.split_batch(updates)
+        else:
+            sub_batches = self.router.split_updates(updates)
+        if not sub_batches:
+            return
+        pre_validated = len(sub_batches) > 1
+        if pre_validated:
+            executor.map(
+                {shard: ("validate", batch) for shard, batch in sub_batches.items()}
+            )
+        executor.map(
+            {
+                shard: ("batch", (batch, pre_validated))
+                for shard, batch in sub_batches.items()
+            }
+        )
+
+    def apply_stream(
+        self, updates: Iterable[Update], batch_size: Optional[int] = None
+    ) -> None:
+        """Apply a sequence of updates, optionally chunked into batches.
+
+        Chunks are routed as *raw* update lists (consolidation happens per
+        shard), so every shard's ``source_count`` accounting matches the
+        unsharded driver exactly — unlike pre-consolidated batches, whose
+        original update counts are no longer reconstructible.
+        """
+        if batch_size is not None:
+            validate_batch_size(batch_size)
+            chunk: List[Update] = []
+            for update in updates:
+                chunk.append(update)
+                if len(chunk) >= batch_size:
+                    self.apply_batch(chunk)
+                    chunk = []
+            if chunk:
+                self.apply_batch(chunk)
+            return
+        for update in updates:
+            self.apply(update)
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def _sorted_shard_results(self) -> List[List[Tuple[ValueTuple, int]]]:
+        return self._require_loaded().broadcast("enumerate")
+
+    def enumerate(self) -> ShardMergeEnumerator:
+        """Enumerate distinct result tuples in canonical order.
+
+        The merged sequence contains exactly the single-engine result —
+        same tuples, same multiplicities — ordered by
+        :func:`repro.enumeration.union.canonical_sort_key` instead of the
+        single engine's tree order.
+        """
+        self._require_loaded()
+        return ShardMergeEnumerator(self)
+
+    def result(self) -> Dict[ValueTuple, int]:
+        """Materialize the full result as ``{tuple: multiplicity}``."""
+        return self.enumerate().to_dict()
+
+    def count_distinct(self) -> int:
+        """Number of distinct result tuples."""
+        return self.enumerate().count_distinct()
+
+    def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
+        return iter(self.enumerate())
+
+    # ------------------------------------------------------------------
+    # introspection and invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Run every shard's deep probe plus the cross-shard placement check.
+
+        Aggregates :meth:`HierarchicalEngine.check_invariants` across
+        shards and additionally verifies that every stored base tuple
+        hashes to the shard holding it, so a routing bug surfaces even
+        before it corrupts a result.
+        """
+        self._require_loaded().broadcast("check")
+
+    @property
+    def rebalance_stats(self) -> Optional[RebalanceStats]:
+        """Fleet-wide rebalancing counters (sum over shards; None if static)."""
+        per_shard = self.rebalance_stats_per_shard()
+        real = [stats for stats in per_shard if stats is not None]
+        if not real:
+            return None
+        return RebalanceStats.merged(real)
+
+    def rebalance_stats_per_shard(self) -> List[Optional[RebalanceStats]]:
+        """Per-shard rebalancing counters, in shard order."""
+        return self._require_loaded().stats()
+
+    def view_size(self) -> int:
+        """Total tuples stored across all shards' materialized views."""
+        return sum(self._require_loaded().broadcast("view_size"))
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Base-database size of every shard, in shard order."""
+        return tuple(self._require_loaded().broadcast("size"))
+
+    def thresholds(self) -> Tuple[float, ...]:
+        """Every shard's current heavy/light threshold ``M_shard^ε``.
+
+        Shards plan against their own sizes, so these are *smaller* than a
+        single engine's threshold over the union — the source of both the
+        update-time win and the extra enumeration-time work.
+        """
+        return tuple(self._require_loaded().broadcast("threshold"))
+
+    def explain(self) -> str:
+        """Human-readable description of the sharded deployment."""
+        lines = [
+            self.plan.describe(),
+            f"epsilon: {self.epsilon}",
+            f"mode: {self.mode}",
+            f"shards: {self.shards} (key {self.shard_key!r}, "
+            f"{'free' if self.router.key_is_free else 'bound'})",
+        ]
+        if self._executor is not None:
+            lines.append(f"executor: {self.executor_name}")
+            lines.append(f"shard sizes: {list(self.shard_sizes())}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine({self.query!s}, shards={self.shards}, "
+            f"epsilon={self.epsilon}, executor={self.executor_choice!r})"
+        )

@@ -1,0 +1,375 @@
+"""Shard executors: serial, thread-pool, and multiprocessing backends.
+
+The sharded engine talks to its shards through a tiny command set —
+``load``, ``update``, ``batch``, ``result``, ``enumerate`` (sorted),
+``check`` (engine invariants + placement), ``stats``, ``view_size``,
+``size``, ``threshold`` — so the same facade drives three deployments:
+
+* :class:`SerialExecutor` — per-shard engines in-process, commands run in a
+  loop.  Zero overhead, no parallelism; the default for small databases and
+  the conformance harness (where determinism and cheap setup matter more
+  than wall-clock).
+* :class:`ThreadExecutor` — the same in-process engines behind a
+  ``ThreadPoolExecutor``.  Pure-Python maintenance holds the GIL, so this
+  buys overlap only around any C-level work, but it exercises the
+  concurrent dispatch path with none of the serialization cost.
+* :class:`ProcessExecutor` — one long-lived worker process per shard, each
+  owning its engine for the whole session; commands and replies cross
+  ``multiprocessing`` pipes as plain tuples.  This is the scale-out
+  backend: per-shard maintenance runs on separate interpreters (and
+  separate cores when the host has them).
+
+Every executor is deterministic from the engine's point of view: shard
+state depends only on the sub-stream routed to that shard, and enumeration
+merges per-shard results sorted by the canonical order, so scheduling can
+never leak into results.
+"""
+
+from __future__ import annotations
+
+import builtins
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro.exceptions as repro_exceptions
+from repro.core.api import HierarchicalEngine
+from repro.data.database import Database
+from repro.enumeration.union import sort_shard_result
+from repro.ivm.rebalance import RebalanceStats
+from repro.sharding.router import ShardRouter
+
+DatabasePayload = Dict[str, Tuple[Tuple[str, ...], List[Tuple[Tuple, int]]]]
+
+
+def database_to_payload(database: Database) -> DatabasePayload:
+    """Flatten a database into picklable primitives for a worker pipe."""
+    return {
+        relation.name: (
+            tuple(relation.schema),
+            [(tup, mult) for tup, mult in relation.items()],
+        )
+        for relation in database
+    }
+
+
+def database_from_payload(payload: DatabasePayload) -> Database:
+    """Rebuild a database from :func:`database_to_payload` output."""
+    database = Database()
+    for name, (schema, rows) in payload.items():
+        relation = database.create_relation(name, schema)
+        for tup, mult in rows:
+            relation.apply_delta(tuple(tup), mult)
+    return database
+
+
+class _ShardServer:
+    """Executes shard commands against one engine (shared by all backends)."""
+
+    def __init__(
+        self,
+        query_text: str,
+        engine_kwargs: Dict[str, Any],
+        shard_index: int,
+        shard_count: int,
+        shard_key: Optional[str] = None,
+    ) -> None:
+        self.engine = HierarchicalEngine(query_text, **engine_kwargs)
+        self.router = ShardRouter(self.engine.query, shard_count, shard_key)
+        self.shard_index = shard_index
+
+    def handle(self, command: str, payload: Any) -> Any:
+        if command == "update":
+            relation, tup, mult = payload
+            self.engine.update(relation, tuple(tup), mult)
+            return None
+        if command == "validate":
+            # dry-run over-delete check: the first phase of the sharded
+            # engine's two-phase (validate, then apply) batch ingestion.
+            # The payload is an UpdateBatch — in-process executors hand it
+            # over as-is, the process executor pickles it across the pipe.
+            # (Relation membership needs no re-check here: routing already
+            # rejected updates to relations outside the query.)
+            self.engine._require_dynamic()
+            payload.validate_against(self.engine.database)
+            return None
+        if command == "batch":
+            batch, validated = payload
+            self.engine._require_dynamic()
+            self.engine._driver.on_batch(batch, validated=validated)
+            return None
+        if command == "enumerate":
+            return sort_shard_result(self.engine.enumerate())
+        if command == "check":
+            self.engine.check_invariants()
+            self.router.check_placement(self.engine.database, self.shard_index)
+            return None
+        if command == "stats":
+            stats = self.engine.rebalance_stats
+            return stats.as_dict() if stats is not None else None
+        if command == "view_size":
+            return self.engine.view_size()
+        if command == "size":
+            return self.engine.database.size
+        if command == "threshold":
+            return self.engine.threshold
+        raise ValueError(f"unknown shard command {command!r}")
+
+
+def _load_server(
+    query_text: str,
+    engine_kwargs: Dict[str, Any],
+    shard_index: int,
+    shard_count: int,
+    shard_key: Optional[str],
+    database: Database,
+) -> _ShardServer:
+    server = _ShardServer(
+        query_text, engine_kwargs, shard_index, shard_count, shard_key
+    )
+    server.engine.load(database)
+    return server
+
+
+def _worker_main(
+    connection,
+    query_text: str,
+    engine_kwargs: Dict[str, Any],
+    shard_index: int,
+    shard_count: int,
+    shard_key: Optional[str],
+    payload: DatabasePayload,
+) -> None:
+    """Entry point of one shard worker process: a command loop over a pipe."""
+    try:
+        server = _load_server(
+            query_text,
+            engine_kwargs,
+            shard_index,
+            shard_count,
+            shard_key,
+            database_from_payload(payload),
+        )
+        connection.send(("ok", None))
+    except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
+        connection.send(("error", type(exc).__name__, str(exc)))
+        connection.close()
+        return
+    while True:
+        try:
+            command, command_payload = connection.recv()
+        except EOFError:
+            break
+        if command == "close":
+            connection.send(("ok", None))
+            break
+        try:
+            connection.send(("ok", server.handle(command, command_payload)))
+        except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
+            connection.send(("error", type(exc).__name__, str(exc)))
+    connection.close()
+
+
+def _raise_remote(name: str, message: str) -> None:
+    """Re-raise a worker-side failure as its original exception type."""
+    exc_type = getattr(repro_exceptions, name, None) or getattr(
+        builtins, name, None
+    )
+    if not (isinstance(exc_type, type) and issubclass(exc_type, BaseException)):
+        exc_type = repro_exceptions.ReproError
+        message = f"{name}: {message}"
+    raise exc_type(message)
+
+
+class ShardExecutor:
+    """Common interface: run one command on one shard or on many shards."""
+
+    shard_count: int = 0
+
+    def start(
+        self,
+        query_text: str,
+        engine_kwargs: Dict[str, Any],
+        databases: Sequence[Database],
+        shard_key: Optional[str] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def call(self, shard_index: int, command: str, payload: Any = None) -> Any:
+        raise NotImplementedError
+
+    def map(
+        self, commands: Dict[int, Tuple[str, Any]]
+    ) -> Dict[int, Any]:
+        """Run ``{shard: (command, payload)}``, one command per shard."""
+        raise NotImplementedError
+
+    def broadcast(self, command: str, payload: Any = None) -> List[Any]:
+        """Run the same command on every shard; results in shard order."""
+        results = self.map(
+            {index: (command, payload) for index in range(self.shard_count)}
+        )
+        return [results[index] for index in range(self.shard_count)]
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> List[Optional[RebalanceStats]]:
+        return [
+            None if raw is None else RebalanceStats.from_dict(raw)
+            for raw in self.broadcast("stats")
+        ]
+
+
+class SerialExecutor(ShardExecutor):
+    """In-process shard engines, commands executed in a plain loop."""
+
+    name = "serial"
+
+    def start(self, query_text, engine_kwargs, databases, shard_key=None) -> None:
+        self.shard_count = len(databases)
+        # in-process executors take the split databases as-is:
+        # split_database already produced private copies, so no
+        # payload round-trip is needed
+        self._servers = [
+            _load_server(
+                query_text,
+                engine_kwargs,
+                index,
+                self.shard_count,
+                shard_key,
+                database,
+            )
+            for index, database in enumerate(databases)
+        ]
+
+    def call(self, shard_index, command, payload=None):
+        return self._servers[shard_index].handle(command, payload)
+
+    def map(self, commands):
+        return {
+            index: self.call(index, command, payload)
+            for index, (command, payload) in commands.items()
+        }
+
+    def close(self) -> None:
+        self._servers = []
+
+
+class ThreadExecutor(SerialExecutor):
+    """In-process shard engines dispatched through a thread pool."""
+
+    name = "thread"
+
+    def start(self, query_text, engine_kwargs, databases, shard_key=None) -> None:
+        super().start(query_text, engine_kwargs, databases, shard_key)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.shard_count),
+            thread_name_prefix="repro-shard",
+        )
+
+    def map(self, commands):
+        futures = {
+            index: self._pool.submit(self.call, index, command, payload)
+            for index, (command, payload) in commands.items()
+        }
+        return {index: future.result() for index, future in futures.items()}
+
+    def close(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True)
+            self._pool = None
+        super().close()
+
+
+class ProcessExecutor(ShardExecutor):
+    """One persistent worker process per shard, commands over pipes.
+
+    Workers are forked (or spawned, per the platform's default start
+    method) once at ``start`` with their shard's database payload, then
+    serve commands until ``close``.  ``map`` sends every command before
+    collecting any reply, so per-shard work genuinely overlaps.
+    """
+
+    name = "process"
+
+    def start(self, query_text, engine_kwargs, databases, shard_key=None) -> None:
+        self.shard_count = len(databases)
+        context = multiprocessing.get_context()
+        self._connections = []
+        self._processes = []
+        for index, database in enumerate(databases):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    child_end,
+                    query_text,
+                    dict(engine_kwargs),
+                    index,
+                    self.shard_count,
+                    shard_key,
+                    database_to_payload(database),
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+        for connection in self._connections:
+            self._receive(connection)
+
+    def _receive(self, connection) -> Any:
+        reply = connection.recv()
+        if reply[0] == "error":
+            _raise_remote(reply[1], reply[2])
+        return reply[1]
+
+    def call(self, shard_index, command, payload=None):
+        connection = self._connections[shard_index]
+        connection.send((command, payload))
+        return self._receive(connection)
+
+    def map(self, commands):
+        for index, (command, payload) in commands.items():
+            self._connections[index].send((command, payload))
+        # Drain every reply before raising: leaving a queued reply behind
+        # would desynchronize that shard's pipe and corrupt every later
+        # command on it.  The first worker-side error is re-raised after
+        # all pipes are level again.
+        results: Dict[int, Any] = {}
+        first_error: Optional[Tuple[str, str]] = None
+        for index in commands:
+            reply = self._connections[index].recv()
+            if reply[0] == "error":
+                if first_error is None:
+                    first_error = (reply[1], reply[2])
+            else:
+                results[index] = reply[1]
+        if first_error is not None:
+            _raise_remote(*first_error)
+        return results
+
+    def close(self) -> None:
+        for connection in getattr(self, "_connections", []):
+            try:
+                connection.send(("close", None))
+                connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            connection.close()
+        for process in getattr(self, "_processes", []):
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+        self._connections = []
+        self._processes = []
+
+
+EXECUTORS: Dict[str, Callable[[], ShardExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}

@@ -22,7 +22,14 @@ rather than synthetic benchmarks:
   stable while turning its contents over completely;
 * **adversarial** — a heavy-key flip-flop that repeatedly pushes one join
   key across the ``N^ε`` heavy/light threshold and back, the worst case for
-  minor rebalancing.
+  minor rebalancing;
+* **hot_shard** — many mid-degree hot keys whose degree sits between a
+  shard's threshold and the global one, so a single engine pays
+  ``O(degree)`` per update where a sharded engine pays ``O(1)`` (the
+  workload behind ``benchmarks/bench_sharded_scaling.py``);
+* **skewed_shard** — Zipf-skewed shard keys: one shard ends up holding most
+  of the data and absorbing most of the traffic, the load-imbalance worst
+  case for :mod:`repro.sharding`.
 
 Every scenario is also registered in the :data:`SCENARIOS` matrix (a
 name → :class:`Scenario` registry, extended by
@@ -387,6 +394,165 @@ def heavy_flipflop_stream(
 
 
 # ----------------------------------------------------------------------
+# hot_shard: adversarial heavy keys straddling the per-shard threshold band
+# ----------------------------------------------------------------------
+HOT_SHARD_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+"""The path query under concentrated mid-degree heavy-key traffic."""
+
+HOT_SHARD_KEY_BASE = 3_000_000
+"""Join values at or above this base are the scenario's hot keys."""
+
+
+def hot_shard_database(
+    size: int = 2000,
+    hot_keys: int = 16,
+    hot_degree_fraction: float = 0.8,
+    epsilon: float = 0.5,
+    seed: int = 0,
+) -> Database:
+    """A path database whose hot keys sit just *below* the global threshold.
+
+    ``size`` uniform filler tuples per relation are topped up with
+    ``hot_keys`` join values of equal degree ``d`` in both relations, where
+    ``d ≈ hot_degree_fraction · (2N)^epsilon`` (solved by fixed-point
+    iteration since the hot tuples count towards ``N``).  At the stated
+    ``epsilon`` a single engine classifies every hot key *light* — each
+    update on it pays ``O(d)`` propagation into the materialized light join
+    views — while an engine over a fraction of the data (a shard) sees a
+    smaller threshold and classifies the same keys *heavy*, paying ``O(1)``
+    per update.  This is the adversarial heavy-key regime where sharding
+    wins on update time before any parallelism, and the workload behind
+    ``benchmarks/bench_sharded_scaling.py``.
+    """
+    rng = random.Random(seed)
+    filler_domain = max(4, 10 * size)
+    r = [
+        (rng.randrange(filler_domain), 1_000_000 + rng.randrange(filler_domain))
+        for _ in range(size)
+    ]
+    s = [
+        (1_000_000 + rng.randrange(filler_domain), rng.randrange(filler_domain))
+        for _ in range(size)
+    ]
+    total = 2 * size
+    degree = 1
+    for _ in range(6):
+        degree = max(2, int(hot_degree_fraction * (2 * total) ** epsilon))
+        total = 2 * size + 2 * hot_keys * degree
+    for key in range(HOT_SHARD_KEY_BASE, HOT_SHARD_KEY_BASE + hot_keys):
+        for _ in range(degree):
+            r.append((rng.randrange(filler_domain), key))
+            s.append((key, rng.randrange(filler_domain)))
+    return Database.from_dict({"R": (("A", "B"), r), "S": (("B", "C"), s)})
+
+
+def hot_shard_key_count(database: Database) -> int:
+    """How many hot keys (ids at/above the reserved base) the database holds.
+
+    The stream generator must target exactly the keys the database primed
+    near the threshold — a mismatch would silently degenerate the scenario
+    into near-uniform churn on cold keys.
+    """
+    seen = {
+        tup[0]
+        for tup, _mult in database.relation("S").items()
+        if tup[0] >= HOT_SHARD_KEY_BASE
+    }
+    return max(1, len(seen))
+
+
+def hot_shard_stream(
+    count: int,
+    hot_keys: int = 16,
+    delete_fraction: float = 0.5,
+    value_domain: int = 1_000_000,
+    seed: int = 13,
+) -> UpdateStream:
+    """Insert/delete churn concentrated on the database's hot keys.
+
+    Every event touches one hot join value: an insert of a fresh ``R``
+    tuple, or (``delete_fraction`` of the time once inserts exist) the
+    deletion of a previously inserted one.  Net drift is near zero, so hot
+    degrees stay inside the band between the per-shard and the global
+    threshold for the whole stream — the single engine keeps paying the
+    light-regime ``O(degree)`` per event while a sharded engine stays in
+    the ``O(1)`` heavy regime.
+    """
+    rng = random.Random(seed)
+    updates: List[Update] = []
+    live: List[Update] = []
+    for _ in range(count):
+        if live and rng.random() < delete_fraction:
+            updates.append(live.pop(rng.randrange(len(live))).inverted())
+            continue
+        key = HOT_SHARD_KEY_BASE + rng.randrange(hot_keys)
+        update = Update("R", (rng.randrange(value_domain), key), 1)
+        updates.append(update)
+        live.append(update)
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
+# skewed_shard: Zipf-skewed shard keys, one shard takes most of the traffic
+# ----------------------------------------------------------------------
+SKEWED_SHARD_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+"""The path query under a Zipf-skewed shard-key distribution."""
+
+
+def skewed_shard_database(
+    size: int = 2000,
+    domain: int = 50,
+    skew: float = 1.6,
+    seed: int = 0,
+) -> Database:
+    """A path database whose join values follow a steep Zipf law.
+
+    With a few dozen distinct join values and exponent ``skew``, the
+    heaviest value takes a large constant fraction of all tuples — and
+    since the shard key *is* the join value, whichever shard its hash lands
+    on holds a matching fraction of the whole database.  The scenario
+    exercises shard imbalance: routing, merging, and per-shard rebalancing
+    must stay correct when one shard dwarfs the rest.
+    """
+    rng = random.Random(seed)
+    r_keys = zipf_values(size, domain, skew, seed)
+    s_keys = zipf_values(size, domain, skew, seed + 1)
+    r = [(rng.randrange(10 * size), key) for key in r_keys]
+    s = [(key, rng.randrange(10 * size)) for key in s_keys]
+    return Database.from_dict({"R": (("A", "B"), r), "S": (("B", "C"), s)})
+
+
+def skewed_shard_stream(
+    count: int,
+    domain: int = 50,
+    skew: float = 1.6,
+    delete_fraction: float = 0.35,
+    seed: int = 17,
+) -> UpdateStream:
+    """Zipf-skewed insert/delete traffic over both relations.
+
+    Updates draw their join value from the same Zipf law as the database,
+    so the hot shard also absorbs most of the update traffic (the worst
+    case for load balance, the common case in production key spaces).
+    """
+    rng = random.Random(seed)
+    keys = zipf_values(count, domain, skew, seed + 2)
+    updates: List[Update] = []
+    live: List[Update] = []
+    for key in keys:
+        if live and rng.random() < delete_fraction:
+            updates.append(live.pop(rng.randrange(len(live))).inverted())
+            continue
+        if rng.random() < 0.5:
+            update = Update("R", (rng.randrange(100_000), key), 1)
+        else:
+            update = Update("S", (key, rng.randrange(100_000)), 1)
+        updates.append(update)
+        live.append(update)
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
 # the scenario matrix
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -513,6 +679,34 @@ register_scenario(
             database,
             window=database.relation("Readings").total_multiplicity(),
             seed=seed,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hot_shard",
+        query=HOT_SHARD_QUERY,
+        description="mid-degree heavy keys between the per-shard and global thresholds",
+        make_database=lambda seed, scale: hot_shard_database(
+            size=_scaled(2000, scale), hot_keys=max(4, _scaled(16, scale)), seed=seed
+        ),
+        make_stream=lambda database, count, seed: hot_shard_stream(
+            count, hot_keys=hot_shard_key_count(database), seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="skewed_shard",
+        query=SKEWED_SHARD_QUERY,
+        description="Zipf-skewed shard keys: one shard takes most data and traffic",
+        make_database=lambda seed, scale: skewed_shard_database(
+            size=_scaled(2000, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: skewed_shard_stream(
+            count, seed=seed
         ),
     )
 )

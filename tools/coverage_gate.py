@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Line-coverage gate for the test suite, with a stdlib fallback.
+
+``make coverage`` runs this tool.  When ``pytest-cov`` is installed it
+simply delegates::
+
+    pytest --cov=repro --cov-fail-under=<threshold>
+
+When it is not (this repository must run in hermetic environments where
+installing packages is off the table), the tool falls back to a
+``sys.settrace``-based line collector over ``src/repro``:
+
+* executable lines per file are derived statically by compiling each module
+  and walking its code objects' ``co_lines`` tables — the same line table
+  the live interpreter reports, so static and dynamic views agree;
+* at runtime, only frames whose code lives under ``src/repro`` get a local
+  trace function, and a code object whose lines have all been seen stops
+  being traced entirely (returning ``None`` from the ``call`` event), which
+  keeps the slowdown on hot, fully-covered loops bounded;
+* worker *threads* are traced via ``threading.settrace``; worker
+  *processes* (the sharded engine's process executor) are not — their
+  uncovered lines are part of the pinned baseline.
+
+The default threshold is pinned at the measured baseline of the fallback
+collector (capped at 85): the gate exists to stop coverage regressions, not
+to flatter the number.
+
+Usage::
+
+    python tools/coverage_gate.py                  # full suite, default gate
+    python tools/coverage_gate.py --fail-under 80
+    python tools/coverage_gate.py --report         # per-file table
+    python tools/coverage_gate.py tests/test_sharding.py   # subset (no gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+from types import CodeType
+from typing import Dict, Iterable, Optional, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# The stdlib collector measured 92.9% on the full suite when this gate was
+# introduced; the threshold is pinned at 85 (the CI contract) so routine
+# churn cannot trip it while a real coverage regression still fails loudly.
+# Raise it as coverage grows; never lower it to make a failure go away.
+DEFAULT_FAIL_UNDER = 85.0
+
+
+def executable_lines(path: Path) -> Set[int]:
+    """All line numbers the compiled module can report events for."""
+    lines: Set[int] = set()
+    try:
+        code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
+    except SyntaxError as exc:  # pragma: no cover - broken source is a bug
+        raise SystemExit(f"coverage gate: cannot compile {path}: {exc}")
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        for _start, _end, line in current.co_lines():
+            if line is not None:
+                lines.add(line)
+        for constant in current.co_consts:
+            if isinstance(constant, CodeType):
+                stack.append(constant)
+    return lines
+
+
+class LineCollector:
+    """A ``sys.settrace`` hook that records executed lines under one root."""
+
+    def __init__(self, root: Path) -> None:
+        self.prefix = str(root) + "/"
+        self.seen: Dict[str, Set[int]] = {}
+        # per-code bookkeeping for the saturation short-circuit
+        self._remaining: Dict[CodeType, Set[int]] = {}
+        self._done: Set[CodeType] = set()
+
+    # -- trace callbacks -------------------------------------------------
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        code = frame.f_code
+        if code in self._done:
+            return None
+        filename = code.co_filename
+        if not filename.startswith(self.prefix):
+            return None
+        return self._local_trace
+
+    def _local_trace(self, frame, event, arg):
+        if event != "line":
+            return self._local_trace
+        code = frame.f_code
+        line = frame.f_lineno
+        file_seen = self.seen.setdefault(code.co_filename, set())
+        file_seen.add(line)
+        remaining = self._remaining.get(code)
+        if remaining is None:
+            remaining = {
+                entry[2]
+                for entry in code.co_lines()
+                if entry[2] is not None
+            }
+            self._remaining[code] = remaining
+        remaining.discard(line)
+        if not remaining:
+            # every line of this code object has been seen: stop paying
+            # for it (its future frames get no local tracer at all)
+            self._done.add(code)
+            return None
+        return self._local_trace
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self) -> None:
+        threading.settrace(self._global_trace)
+        sys.settrace(self._global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def iter_source_files(root: Path) -> Iterable[Path]:
+    return sorted(root.rglob("*.py"))
+
+
+def run_with_pytest_cov(args: argparse.Namespace) -> int:
+    import pytest
+
+    pytest_args = [
+        "--cov=repro",
+        # mirror the stdlib path: subset runs measure but do not gate, and
+        # the first failure stops the run
+        *(
+            []
+            if args.tests
+            else [f"--cov-fail-under={args.fail_under}"]
+        ),
+        "--cov-report=term-missing" if args.report else "--cov-report=term",
+        "-x",
+        "-q",
+        *(args.tests or []),
+    ]
+    print(f"coverage gate: pytest-cov detected; running pytest {' '.join(pytest_args)}")
+    return pytest.main(pytest_args)
+
+
+def run_with_stdlib_tracer(args: argparse.Namespace) -> int:
+    import pytest
+
+    collector = LineCollector(SOURCE_ROOT)
+    collector.install()
+    try:
+        # -x: coverage is never evaluated on a failing run, so there is
+        # nothing to gain from finishing a traced suite after the first
+        # failure — keep the fail-fast behaviour `make test` had before
+        # the gate replaced its plain pytest invocation
+        exit_code = pytest.main(["-x", "-q", *(args.tests or [])])
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        print("coverage gate: test run failed; coverage not evaluated")
+        return int(exit_code)
+
+    total_executable = 0
+    total_covered = 0
+    rows = []
+    for path in iter_source_files(SOURCE_ROOT):
+        lines = executable_lines(path)
+        seen = collector.seen.get(str(path), set()) & lines
+        total_executable += len(lines)
+        total_covered += len(seen)
+        percent = 100.0 * len(seen) / len(lines) if lines else 100.0
+        rows.append((path.relative_to(REPO_ROOT), len(lines), len(seen), percent))
+    percent_total = (
+        100.0 * total_covered / total_executable if total_executable else 100.0
+    )
+
+    if args.report:
+        width = max(len(str(row[0])) for row in rows)
+        print(f"\n{'module'.ljust(width)}  lines  covered      %")
+        for name, n_lines, n_seen, percent in rows:
+            print(f"{str(name).ljust(width)}  {n_lines:5d}  {n_seen:7d}  {percent:5.1f}")
+    print(
+        f"\ncoverage gate (stdlib tracer): {total_covered}/{total_executable} "
+        f"lines = {percent_total:.2f}% (threshold {args.fail_under:.1f}%)"
+    )
+    if args.tests:
+        print("coverage gate: subset run — threshold not enforced")
+        return 0
+    if percent_total < args.fail_under:
+        print("coverage gate: FAILED — coverage dropped below the pinned baseline")
+        return 1
+    print("coverage gate: ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="line-coverage gate (pytest-cov when available, stdlib otherwise)"
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=DEFAULT_FAIL_UNDER,
+        help=f"minimum total line coverage in percent (default {DEFAULT_FAIL_UNDER})",
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the per-module coverage table"
+    )
+    parser.add_argument(
+        "--force-stdlib",
+        action="store_true",
+        help="use the stdlib tracer even when pytest-cov is installed",
+    )
+    parser.add_argument(
+        "tests",
+        nargs="*",
+        help="optional pytest targets (subset runs skip the threshold)",
+    )
+    args = parser.parse_args(argv)
+    if not args.force_stdlib:
+        try:
+            import pytest_cov  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            return run_with_pytest_cov(args)
+    return run_with_stdlib_tracer(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

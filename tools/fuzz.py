@@ -18,6 +18,12 @@ Case mix per index: ~50% differential runs on random hierarchical queries,
 ~15% on guaranteed non-hierarchical queries (baselines diffed against each
 other, planner gate checked), ~20% metamorphic property checks, ~15%
 differential runs on a scenario sampled from the workload matrix.
+
+Differential runs put :class:`repro.sharding.ShardedEngine` under test at
+shard counts {1, 2, 4, 7} next to the single engines and the baselines, and
+the ``shard-merge`` metamorphic property asserts sharded == single directly
+— so a shrunk repro JSON replays against both the sharded and unsharded
+paths with one ``--repro`` invocation.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.conformance import (  # noqa: E402 - sys.path bootstrap above
     check_insert_delete_noop,
     check_partition_union,
     check_query_conformance,
+    check_shard_merge,
     load_case,
     random_database,
     random_labeled_query,
@@ -53,7 +60,12 @@ from repro.core.api import HierarchicalEngine  # noqa: E402
 from repro.workloads import get_scenario, scenario_names  # noqa: E402
 
 EPSILON_GRIDS = ((0.0, 0.5, 1.0), (0.25, 0.75), (0.5,), (0.0, 1.0))
-METAMORPHIC_PROPERTIES = ("insert-delete-noop", "batch-permutation", "partition-union")
+METAMORPHIC_PROPERTIES = (
+    "insert-delete-noop",
+    "batch-permutation",
+    "partition-union",
+    "shard-merge",
+)
 
 
 def _random_profile(rng: random.Random) -> DataProfile:
@@ -111,6 +123,12 @@ def _metamorphic_case(rng: random.Random) -> ConformanceCase:
 
 def metamorphic_failure(case: ConformanceCase, prop: str):
     """Run one metamorphic property on a case; normalize failures."""
+    if prop not in METAMORPHIC_PROPERTIES:
+        # reject bad property names eagerly, *outside* the try below — an
+        # exception raised by the property itself (including a ValueError
+        # such as merge_shards' out-of-order-source error) is a finding to
+        # record and shrink, never something to re-raise
+        raise ValueError(f"unknown metamorphic property {prop!r}")
     epsilon = case.epsilons[0] if case.epsilons else 0.5
     factory = lambda: HierarchicalEngine(case.query, epsilon=epsilon)  # noqa: E731
     database = case.database()
@@ -124,10 +142,8 @@ def metamorphic_failure(case: ConformanceCase, prop: str):
             )
         elif prop == "partition-union":
             check_partition_union(factory, database, updates, parts=3)
-        else:
-            raise ValueError(f"unknown metamorphic property {prop!r}")
-    except ValueError:
-        raise
+        elif prop == "shard-merge":
+            check_shard_merge(case.query, epsilon, database, updates)
     except AssertionError as exc:
         return Mismatch(
             engine=f"ivm(eps={epsilon})",
@@ -197,7 +213,9 @@ def run_repro(path: Path) -> int:
     kind = failure.get("kind", "")
     case = load_case(path)
     if kind.startswith("metamorphic:"):
-        mismatch = metamorphic_failure(case, kind.split(":", 1)[1])
+        # kind is "metamorphic:<prop>" or "metamorphic:<prop>:crash" — the
+        # middle segment is the property name either way
+        mismatch = metamorphic_failure(case, kind.split(":")[1])
     else:
         mismatch = case_failure(case)
     if mismatch is None:
