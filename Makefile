@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage fuzz-smoke bench-smoke bench-batch bench-sharded docs-check install-dev
+.PHONY: test coverage fuzz-smoke bench-smoke bench-batch bench-sharded bench-serving bench-gate docs-check install-dev
 
 ## Tier-1 verification: the coverage gate first — it runs the full test
 ## suite exactly once (fail-fast, under the line collector when pytest-cov
@@ -41,6 +41,15 @@ bench-batch:
 ## count on the adversarial hot_shard scenario (asserts >=2x at 4 shards).
 bench-sharded:
 	$(PY) -m pytest benchmarks/bench_sharded_scaling.py -q
+
+## Concurrent-serving benchmark: 4 snapshot readers vs the serialized
+## read-after-write loop (asserts >=2x aggregate enumeration throughput).
+bench-serving:
+	$(PY) -m pytest benchmarks/bench_concurrent_serving.py -q
+
+## Re-run every asserted benchmark claim at reduced scale (the CI gate).
+bench-gate:
+	$(PY) tools/bench_gate.py --smoke
 
 ## Fail if any public module under src/repro/ lacks a module docstring.
 docs-check:

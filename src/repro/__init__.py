@@ -23,9 +23,11 @@ Quickstart::
 """
 
 from repro.core.api import DynamicEngine, HierarchicalEngine, StaticEngine
+from repro.core.serving import EngineServer
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.data.update import Update, UpdateBatch, UpdateStream
+from repro.snapshot import Snapshot
 from repro.query.atom import Atom, atom
 from repro.query.classes import classify
 from repro.query.conjunctive import ConjunctiveQuery, query
@@ -41,9 +43,11 @@ __all__ = [
     "ConjunctiveQuery",
     "Database",
     "DynamicEngine",
+    "EngineServer",
     "HierarchicalEngine",
     "Relation",
     "ShardedEngine",
+    "Snapshot",
     "StaticEngine",
     "Update",
     "UpdateBatch",

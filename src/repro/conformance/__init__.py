@@ -35,6 +35,7 @@ from repro.conformance.metamorphic import (
     check_insert_delete_noop,
     check_partition_union,
     check_shard_merge,
+    check_snapshot_isolation,
 )
 from repro.conformance.queries import (
     LabeledQuery,
@@ -65,6 +66,7 @@ __all__ = [
     "check_partition_union",
     "check_query_conformance",
     "check_shard_merge",
+    "check_snapshot_isolation",
     "load_case",
     "random_database",
     "random_labeled_query",

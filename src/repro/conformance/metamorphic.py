@@ -18,7 +18,12 @@ DBToaster lineage classically check):
 * **shard-merging is invisible** — running the same workload through
   :class:`~repro.sharding.ShardedEngine` at any shard count must produce
   exactly the single engine's result, enumerated in canonical order, with
-  every per-shard and cross-shard invariant intact.
+  every per-shard and cross-shard invariant intact;
+* **snapshots are isolated** — a snapshot captured at version ``v``
+  enumerates exactly what a fresh engine replayed to ``v`` produces (order
+  included), and keeps doing so after the live engine ingests arbitrary
+  further segments — including ones that trigger minor/major rebalances —
+  for both the single engine and the sharded facade.
 
 Each check takes an ``engine_factory`` so it runs identically against
 :class:`~repro.core.api.HierarchicalEngine` at any ε and against every
@@ -177,3 +182,90 @@ def check_shard_merge(
         sharded.check_invariants()
         sharded.close()
     _maybe_check_invariants(single)
+
+
+def _segments(updates: Sequence[Update], parts: int) -> list:
+    updates = list(updates)
+    parts = max(1, parts)
+    size = max(1, (len(updates) + parts - 1) // parts) if updates else 1
+    return [updates[i : i + size] for i in range(0, len(updates), size)]
+
+
+def check_snapshot_isolation(
+    query: str,
+    epsilon: float,
+    database: Database,
+    updates: Sequence[Update],
+    shard_counts: Sequence[int] = (1, 2, 4),
+    segments: int = 3,
+) -> None:
+    """A snapshot at version ``v`` equals a fresh replay to ``v`` — forever.
+
+    The stream is cut into ``segments`` batches.  After each batch the live
+    engine captures a snapshot and records its own enumeration sequence;
+    only after *all* batches have been ingested (so every snapshot except
+    the last has seen the engine mutate underneath it, rebalances and all)
+    is each snapshot checked: its enumeration must equal the sequence the
+    live engine produced at capture time, and its result must equal the
+    ground truth of a fresh :class:`NaiveRecomputeEngine` replayed to the
+    same prefix.  The sharded facade runs the same protocol at every shard
+    count, its snapshots checked against the canonically sorted truth.
+    """
+    from repro.baselines.naive import NaiveRecomputeEngine
+
+    batches = _segments(updates, segments)
+    oracle = NaiveRecomputeEngine(query)
+    oracle.load(database)
+    truths = []
+    for batch in batches:
+        oracle.apply_batch(batch)
+        truths.append(dict(oracle.result()))
+
+    single = HierarchicalEngine(query, epsilon=epsilon)
+    single.load(database)
+    captured = []
+    for batch in batches:
+        single.apply_batch(batch)
+        captured.append((single.snapshot(), list(single.enumerate())))
+    for index, (snapshot, live_sequence) in enumerate(captured):
+        assert snapshot.version == index + 1, (
+            f"snapshot after batch {index} reports version {snapshot.version}"
+        )
+        sequence = list(snapshot.enumerate())
+        assert sequence == live_sequence, (
+            f"snapshot at version {snapshot.version} enumerates differently "
+            "from the live engine at capture time"
+        )
+        assert dict(snapshot.result()) == truths[index], (
+            f"snapshot at version {snapshot.version} diverges from a fresh "
+            "oracle replayed to the same prefix"
+        )
+        for tup, mult in truths[index].items():
+            assert snapshot.lookup(tup) == mult, (
+                f"snapshot lookup({tup!r}) != {mult} at version "
+                f"{snapshot.version}"
+            )
+            break  # one probe per snapshot keeps the check cheap
+        snapshot.close()
+    _maybe_check_invariants(single)
+
+    if not is_shardable(single.query):
+        return
+    for shards in shard_counts:
+        sharded = ShardedEngine(
+            query, shards=shards, epsilon=epsilon, executor="serial"
+        )
+        sharded.load(database)
+        sharded_captured = []
+        for batch in batches:
+            sharded.apply_batch(batch)
+            sharded_captured.append(sharded.snapshot())
+        for index, snapshot in enumerate(sharded_captured):
+            expected = sort_shard_result(truths[index].items())
+            assert list(snapshot.enumerate()) == expected, (
+                f"shard count {shards}: snapshot at version "
+                f"{snapshot.version} diverges from the oracle prefix"
+            )
+            snapshot.close()
+        sharded.check_invariants()
+        sharded.close()

@@ -21,9 +21,14 @@ At every checkpoint the runner diffs each engine's full result against the
 oracle, diffs the *result delta* since the previous checkpoint (so a
 mismatch is localized to the segment that introduced it), checks the
 enumeration invariants of the engine (deterministic order across passes, no
-duplicate tuples, strictly positive multiplicities), and probes the
-engine's internal structures via
-:meth:`~repro.core.api.HierarchicalEngine.check_invariants`.
+duplicate tuples, strictly positive multiplicities), probes the engine's
+internal structures via
+:meth:`~repro.core.api.HierarchicalEngine.check_invariants`, and exercises
+snapshot isolation: a fresh ``engine.snapshot()`` must match the oracle at
+the current version, and the snapshot *held since the previous checkpoint*
+must still match the oracle's capture-time result even though the engine
+has since ingested another segment (rebalances included).  Shrunk repro
+JSON files therefore replay snapshot reads exactly like live reads.
 
 Non-hierarchical cases are differential too: the planner must *reject* the
 query (the fragment gate is part of the contract), after which the
@@ -208,6 +213,11 @@ class _Runner:
         self.engine = engine
         self.batched = batched
         self.previous: ResultDict = {}
+        # The snapshot captured at the previous checkpoint and the oracle's
+        # result at that moment: after the next segment mutates the engine,
+        # the held snapshot must still enumerate exactly this result.
+        self.held_snapshot = None
+        self.held_truth: ResultDict = {}
 
     def ingest(self, segment: List[Update]) -> None:
         if self.batched:
@@ -443,6 +453,36 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                     mismatches.append(
                         Mismatch(runner.name, checkpoint, "invariant", str(exc))
                     )
+                # Snapshot isolation: the snapshot held since the previous
+                # checkpoint must still enumerate the oracle's result *at
+                # capture time*, even though this checkpoint's segment has
+                # mutated the live engine underneath it; then capture a new
+                # snapshot and diff it against the oracle right now.
+                if runner.held_snapshot is not None:
+                    stale_diff = _diff(
+                        runner.held_truth, dict(runner.held_snapshot.result())
+                    )
+                    if stale_diff is not None:
+                        mismatches.append(
+                            Mismatch(
+                                runner.name,
+                                checkpoint,
+                                "snapshot-isolation",
+                                f"held snapshot drifted from its capture-time "
+                                f"oracle result: {stale_diff}",
+                            )
+                        )
+                    runner.held_snapshot.close()
+                snapshot = engine.snapshot()
+                snapshot_diff = _diff(truth, dict(snapshot.result()))
+                if snapshot_diff is not None:
+                    mismatches.append(
+                        Mismatch(
+                            runner.name, checkpoint, "snapshot", snapshot_diff
+                        )
+                    )
+                runner.held_snapshot = snapshot
+                runner.held_truth = truth
             if len(mismatches) >= max_mismatches:
                 return ConformanceReport(
                     query=case.query,
@@ -454,6 +494,9 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
         oracle_previous = truth
         checkpoint += 1
 
+    for runner in runners:
+        if runner.held_snapshot is not None:
+            runner.held_snapshot.close()
     return ConformanceReport(
         query=case.query,
         supported=supported,

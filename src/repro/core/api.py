@@ -59,6 +59,7 @@ from repro.exceptions import (
     ReproError,
     UnsupportedQueryError,
 )
+from repro.exceptions import StaleStateError
 from repro.ivm.rebalance import MaintenanceDriver, RebalanceStats
 from repro.core.planner import (
     QueryPlan,
@@ -66,6 +67,8 @@ from repro.core.planner import (
     instantiate_plan,
     plan_query,
 )
+from repro.snapshot.cow import CowTracker
+from repro.snapshot.versioned import Snapshot, capture_snapshot
 from repro.views.build import DYNAMIC_MODE, STATIC_MODE
 from repro.views.skew import SkewAwarePlan
 
@@ -93,6 +96,11 @@ class HierarchicalEngine:
         self._skew_plan: Optional[SkewAwarePlan] = None
         self._driver: Optional[MaintenanceDriver] = None
         self.preprocessing_seconds: Optional[float] = None
+        # Bumped by every load(): snapshots and live enumerators created
+        # against an earlier load raise StaleStateError instead of silently
+        # reading the replaced state.
+        self._generation = 0
+        self._cow_tracker: Optional[CowTracker] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -201,6 +209,8 @@ class HierarchicalEngine:
         With ``copy_database=True`` (the default) the engine operates on a
         private copy, so the caller's relations are never mutated by updates.
         """
+        self._generation += 1
+        self._cow_tracker = CowTracker()
         self._database = database.copy() if self.copy_database else database
         started = time.perf_counter()
         self._skew_plan = instantiate_plan(self.plan, self._database)
@@ -226,11 +236,30 @@ class HierarchicalEngine:
     # ------------------------------------------------------------------
     # enumeration
     # ------------------------------------------------------------------
+    def _generation_validator(self):
+        """A check bound to the current load; raises once load() replaces it."""
+        generation = self._generation
+        def _check() -> None:
+            if self._generation != generation:
+                raise StaleStateError(
+                    "the engine's database was replaced by load() after this "
+                    "snapshot/enumerator was created; capture a new one"
+                )
+        return _check
+
     def enumerate(self) -> ResultEnumerator:
-        """Return an enumerator over the distinct result tuples."""
+        """Return an enumerator over the distinct result tuples.
+
+        The enumerator is bound to the current load: if :meth:`load` replaces
+        the database while it is (or before it is) consumed, iteration raises
+        :class:`~repro.exceptions.StaleStateError` rather than reflecting a
+        mixture of old and new state.
+        """
         self._require_loaded()
         assert self._skew_plan is not None
-        return ResultEnumerator(self._skew_plan, self.query)
+        return ResultEnumerator(
+            self._skew_plan, self.query, validator=self._generation_validator()
+        )
 
     def result(self) -> Dict[ValueTuple, int]:
         """Materialize the full result as ``{tuple: multiplicity}``."""
@@ -242,6 +271,44 @@ class HierarchicalEngine:
 
     def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
         return iter(self.enumerate())
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Number of ingestion events absorbed since :meth:`load` (0 static)."""
+        self._require_loaded()
+        return self._driver.version if self._driver is not None else 0
+
+    def snapshot(self) -> Snapshot:
+        """Capture an immutable handle onto the engine's current version.
+
+        The capture is ``O(plan)`` — it records the strategy-tree structure
+        and registers the reachable relations with the copy-on-write
+        tracker; no view content is copied until either the maintenance
+        path is about to overwrite it or the snapshot reads it.  The
+        returned :class:`~repro.snapshot.versioned.Snapshot` answers
+        ``enumerate()`` / ``result()`` / ``lookup()`` with the same ordering
+        guarantees as this engine had at capture time, while further
+        updates/batches (including minor and major rebalances) keep flowing
+        through the live engine.
+
+        Must not be called concurrently with a mutating call on the same
+        engine; :class:`repro.core.serving.EngineServer` serializes capture
+        against its writer for multi-threaded deployments.  A snapshot
+        outliving a subsequent :meth:`load` raises
+        :class:`~repro.exceptions.StaleStateError` on every read.
+        """
+        self._require_loaded()
+        assert self._skew_plan is not None and self._cow_tracker is not None
+        return capture_snapshot(
+            self._cow_tracker,
+            self._skew_plan.component_trees,
+            self.query,
+            self.version,
+            validity=self._generation_validator(),
+        )
 
     # ------------------------------------------------------------------
     # updates

@@ -1,0 +1,327 @@
+"""Concurrent serving over one engine: a writer loop plus reader sessions.
+
+:class:`EngineServer` wraps a :class:`~repro.core.api.HierarchicalEngine` or
+:class:`~repro.sharding.ShardedEngine` for multi-threaded deployments where
+one *writer* ingests update batches while any number of *reader sessions*
+enumerate results concurrently.  Two serving modes bound the design space:
+
+* ``mode="snapshot"`` — publish-on-commit serving.  After every batch the
+  writer captures a :class:`~repro.snapshot.Snapshot` (an ``O(plan)``
+  bookkeeping step, done while it still holds the write lock) and publishes
+  it; a read grabs the currently published handle and enumerates it with
+  *no* lock at all.  The write lock is held only for maintenance plus
+  capture, never for enumeration, so readers overlap batch maintenance and
+  each other, serving the last committed version while the next batch is
+  mid-flight; copy-on-write keeps every published version intact.
+* ``mode="locked"`` — the classical serialized read-after-write loop: a read
+  holds the write lock for its entire enumeration, so every reader waits for
+  the in-flight batch and blocks the writer (and all other readers) while it
+  enumerates.  This is the baseline
+  ``benchmarks/bench_concurrent_serving.py`` measures against.
+
+Reads return a :class:`ReadTicket` carrying the observed engine version, so
+callers can assert that every served result corresponds to a prefix of the
+ingested stream (the concurrency test battery does exactly that).
+
+Example::
+
+    from repro import Database, HierarchicalEngine
+    from repro.core.serving import EngineServer
+
+    engine = HierarchicalEngine("Q(A, C) = R(A, B), S(B, C)").load(db)
+    server = EngineServer(engine)                 # snapshot mode
+    writer = server.start_writer(stream.batches(500))
+    ticket = server.read()                        # never blocks on the writer
+    print(ticket.version, len(ticket.pairs))
+    writer.join()
+    server.stop_writer()
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.data.schema import ValueTuple
+
+SERVING_MODES = ("snapshot", "locked")
+
+
+@dataclass
+class ServingStats:
+    """Thread-safe counters describing one server's traffic."""
+
+    batches_applied: int = 0
+    reads_served: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def count_batch(self) -> None:
+        with self._lock:
+            self.batches_applied += 1
+
+    def count_read(self) -> None:
+        with self._lock:
+            self.reads_served += 1
+
+
+class _PublishedVersion:
+    """One published snapshot plus the pin accounting that retires it.
+
+    Readers pin the entry for the duration of their read; the writer calls
+    :meth:`retire` when a newer version supersedes it.  The underlying
+    snapshot's ``close()`` runs exactly once, as soon as it is both retired
+    and unpinned — so shard-local snapshot registries (which hold strong
+    references) drain at the pace readers finish, never later.
+    """
+
+    __slots__ = ("snapshot", "_lock", "_pins", "_retired", "_closed")
+
+    def __init__(self, snapshot, lock: threading.Lock) -> None:
+        self.snapshot = snapshot
+        self._lock = lock
+        self._pins = 0
+        self._retired = False
+        self._closed = False
+
+    def unpin(self) -> None:
+        with self._lock:
+            self._pins -= 1
+            close_now = self._retired and self._pins == 0 and not self._closed
+            if close_now:
+                self._closed = True
+        if close_now:
+            self.snapshot.close()
+
+    def retire(self) -> None:
+        with self._lock:
+            self._retired = True
+            close_now = self._pins == 0 and not self._closed
+            if close_now:
+                self._closed = True
+        if close_now:
+            self.snapshot.close()
+
+
+@dataclass(frozen=True)
+class ReadTicket:
+    """One served read: the observed engine version and the enumerated prefix
+    (the full result unless the read was issued with a ``limit``)."""
+
+    version: int
+    pairs: Tuple[Tuple[ValueTuple, int], ...]
+
+    def result(self) -> Dict[ValueTuple, int]:
+        return {tup: mult for tup, mult in self.pairs}
+
+
+class EngineServer:
+    """Serve one loaded engine to a writer thread and N reader sessions."""
+
+    def __init__(self, engine, mode: str = "snapshot") -> None:
+        if mode not in SERVING_MODES:
+            raise ValueError(
+                f"unknown serving mode {mode!r}; choose one of {SERVING_MODES}"
+            )
+        self.engine = engine
+        self.mode = mode
+        self.stats = ServingStats()
+        self._write_lock = threading.Lock()
+        self._writer_thread: Optional[threading.Thread] = None
+        self._writer_stop = threading.Event()
+        self._writer_error: Optional[BaseException] = None
+        # The currently published snapshot (snapshot mode): swapped by the
+        # writer after each commit, read without holding the write lock.
+        # Superseded snapshots cannot simply be dropped: readers may still
+        # be enumerating them, and sharded snapshots hold shard-local
+        # registry entries by strong reference (only the single-engine
+        # tracker is weak).  Every read pins the published entry for its
+        # duration; the writer retires the old entry on publish, and the
+        # entry's close() runs as soon as the pin count drains to zero.
+        self._published: Optional[_PublishedVersion] = None
+        self._publish_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def _publish_locked(self) -> "_PublishedVersion":
+        """Swap in a fresh capture; caller holds the write lock."""
+        entry = _PublishedVersion(self.engine.snapshot(), self._publish_lock)
+        with self._publish_lock:
+            previous, self._published = self._published, entry
+        if previous is not None:
+            previous.retire()
+        return entry
+
+    def apply_batch(self, updates) -> None:
+        """Ingest one consolidated batch, then publish the new version."""
+        with self._write_lock:
+            self.engine.apply_batch(updates)
+            if self.mode == "snapshot":
+                self._publish_locked()
+        self.stats.count_batch()
+
+    def apply_update(self, update) -> None:
+        """Ingest one single-tuple update, then publish the new version."""
+        with self._write_lock:
+            self.engine.apply(update)
+            if self.mode == "snapshot":
+                self._publish_locked()
+
+    def start_writer(self, batches: Iterable) -> threading.Thread:
+        """Run a writer loop ingesting ``batches`` on a background thread.
+
+        The loop stops when the iterable is exhausted or
+        :meth:`stop_writer` is called; an exception in the writer is
+        captured and re-raised by :meth:`stop_writer`.
+        """
+        if self._writer_thread is not None and self._writer_thread.is_alive():
+            raise RuntimeError("a writer loop is already running")
+        self._writer_stop.clear()
+        self._writer_error = None
+
+        def loop() -> None:
+            try:
+                for batch in batches:
+                    if self._writer_stop.is_set():
+                        break
+                    self.apply_batch(batch)
+            except BaseException as exc:  # noqa: BLE001 - re-raised on stop
+                self._writer_error = exc
+
+        thread = threading.Thread(
+            target=loop, name="repro-engine-writer", daemon=True
+        )
+        self._writer_thread = thread
+        thread.start()
+        return thread
+
+    def stop_writer(self, timeout: Optional[float] = None) -> None:
+        """Signal the writer loop to stop, join it, and surface its error.
+
+        If the loop is still inside a batch when ``timeout`` expires the
+        thread handle is kept — a later :meth:`start_writer` keeps being
+        rejected and a later :meth:`stop_writer` can join it — instead of
+        orphaning a loop that would interleave with its replacement.
+        """
+        self._writer_stop.set()
+        thread = self._writer_thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise RuntimeError(
+                    "the writer loop did not stop within the timeout; it is "
+                    "still finishing its current batch — call stop_writer() "
+                    "again to wait for it"
+                )
+            self._writer_thread = None
+        if self._writer_error is not None:
+            error, self._writer_error = self._writer_error, None
+            raise error
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture a private snapshot, write lock held only for the capture.
+
+        Unlike :meth:`read`, this waits for any in-flight batch (a capture
+        is only meaningful at a commit boundary); the caller owns the
+        returned handle and should ``close()`` it when done.
+        """
+        with self._write_lock:
+            return self.engine.snapshot()
+
+    def _current_pinned(self) -> "_PublishedVersion":
+        """Pin and return the published entry, capturing version 0 if needed.
+
+        The pin is taken under the publish lock, so a concurrent
+        :meth:`_publish_locked` either swaps before (we pin the newer
+        entry) or retires the entry only after our pin is counted.
+        """
+        while True:
+            with self._publish_lock:
+                entry = self._published
+                if entry is not None:
+                    entry._pins += 1
+                    return entry
+            with self._write_lock:
+                if self._published is None:
+                    self._publish_locked()
+
+    @staticmethod
+    def _consume(enumerator, limit: Optional[int]) -> Tuple:
+        if limit is None:
+            return tuple(enumerator)
+        pairs = []
+        for item in enumerator:
+            pairs.append(item)
+            if len(pairs) >= limit:
+                break
+        return tuple(pairs)
+
+    def read(self, limit: Optional[int] = None) -> ReadTicket:
+        """Serve one consistent read session.
+
+        In snapshot mode the read enumerates the currently *published*
+        snapshot — the last committed version — without taking any lock, so
+        it never waits for an in-flight batch; in locked mode the whole
+        enumeration happens under the write lock (the serialized
+        read-after-write baseline).  Either way the returned ticket's
+        ``pairs`` are a torn-read-free enumeration prefix of one engine
+        version — the full result with ``limit=None``, or the first
+        ``limit`` tuples (a page, in the paper's constant-delay enumeration
+        model) otherwise.
+        """
+        if self.mode == "snapshot":
+            entry = self._current_pinned()
+            try:
+                pairs = self._consume(entry.snapshot.enumerate(), limit)
+                version = entry.snapshot.version
+            finally:
+                entry.unpin()
+        else:
+            with self._write_lock:
+                version = self.engine.version
+                pairs = self._consume(self.engine.enumerate(), limit)
+        self.stats.count_read()
+        return ReadTicket(version=version, pairs=pairs)
+
+    def run_readers(
+        self,
+        count: int,
+        duration_seconds: float,
+        limit: Optional[int] = None,
+    ) -> List[ReadTicket]:
+        """Run ``count`` reader sessions in parallel for a wall-clock window.
+
+        Each session loops :meth:`read` until the deadline; the tickets of
+        every session are returned (used by the stress tests and the
+        concurrent-serving benchmark).  Reader exceptions propagate.
+        """
+        import time
+
+        deadline = time.perf_counter() + duration_seconds
+        tickets: List[List[ReadTicket]] = [[] for _ in range(count)]
+        errors: List[BaseException] = []
+
+        def session(slot: int) -> None:
+            try:
+                while time.perf_counter() < deadline:
+                    tickets[slot].append(self.read(limit))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=session, args=(slot,), name=f"repro-reader-{slot}"
+            )
+            for slot in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [ticket for session_tickets in tickets for ticket in session_tickets]

@@ -119,6 +119,17 @@ class Relation:
         self.schema: Schema = make_schema(schema)
         self._data: Dict[ValueTuple, int] = {}
         self._indexes: Dict[Schema, Index] = {}
+        # Copy-on-write hooks used by repro.snapshot: `_cow` points at the
+        # engine's CowTracker once the relation has been captured by a
+        # snapshot, `_cow_epoch` is the last tracker epoch this relation was
+        # preserved at, `_change_ticks` counts content mutations (so frozen
+        # copies can be shared between snapshots while the content is
+        # unchanged), and `_cow_cache` holds the most recent frozen copy as
+        # ``(change_ticks, Relation)``.
+        self._cow = None
+        self._cow_epoch = -1
+        self._change_ticks = 0
+        self._cow_cache: Optional[Tuple[int, "Relation"]] = None
         if tuples:
             for tup, mult in tuples.items():
                 self.apply_delta(tup, mult)
@@ -165,9 +176,25 @@ class Relation:
 
     def clear(self) -> None:
         """Remove all tuples and index entries."""
+        self._cow_guard()
+        if self._data:
+            self._change_ticks += 1
         self._data.clear()
         for index in self._indexes.values():
             index._groups.clear()
+
+    def _cow_guard(self) -> None:
+        """Preserve the pre-mutation content into every active snapshot.
+
+        Runs before the first mutation after each snapshot capture (the
+        tracker bumps its epoch per capture); all later mutations in the
+        same epoch skip the tracker entirely, so the steady-state cost is
+        one attribute load and an int comparison per mutation.
+        """
+        cow = self._cow
+        if cow is not None and self._cow_epoch != cow.epoch:
+            cow.preserve(self)
+            self._cow_epoch = cow.epoch
 
     # ------------------------------------------------------------------
     # mutation
@@ -197,6 +224,8 @@ class Relation:
                 f"delete of {-delta} copies of {tup!r} rejected: relation "
                 f"{self.name!r} holds only {current}"
             )
+        self._cow_guard()
+        self._change_ticks += 1
         if updated == 0:
             del self._data[tup]
             for index in self._indexes.values():

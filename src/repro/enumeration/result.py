@@ -14,7 +14,7 @@ enumeration delay.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.data.schema import ValueTuple
 from repro.enumeration.iterators import TreeIterator, build_iterator
@@ -66,10 +66,19 @@ class _ComponentEnumerator:
 class ResultEnumerator:
     """Enumerates the distinct result tuples of a query with multiplicities."""
 
-    def __init__(self, plan: SkewAwarePlan, query: ConjunctiveQuery) -> None:
+    def __init__(
+        self,
+        plan: SkewAwarePlan,
+        query: ConjunctiveQuery,
+        validator: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.plan = plan
         self.query = query
         self.head: Tuple[str, ...] = tuple(query.head)
+        # Called before every produced tuple; the engine passes a generation
+        # check that raises StaleStateError once load() has replaced the
+        # state this enumerator walks (mid-iteration included).
+        self._validator = validator
         self._components = [
             _ComponentEnumerator(trees, self.head) for trees in plan.component_trees
         ]
@@ -79,13 +88,19 @@ class ResultEnumerator:
     def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
         return self._iterate()
 
+    def _check_valid(self) -> None:
+        if self._validator is not None:
+            self._validator()
+
     def _iterate(self) -> Iterator[Tuple[ValueTuple, int]]:
+        self._check_valid()
         if not self._components:
             return
         if len(self._components) == 1:
             component = self._components[0]
             component.reset()
             while True:
+                self._check_valid()
                 started = time.perf_counter()
                 item = component.next()
                 self._delays.append(time.perf_counter() - started)
@@ -106,6 +121,7 @@ class ResultEnumerator:
         component = self._components[index]
         component.reset()
         while True:
+            self._check_valid()
             started = time.perf_counter()
             item = component.next()
             self._delays.append(time.perf_counter() - started)

@@ -60,3 +60,13 @@ class InvariantViolationError(ReproError):
     partition whose heavy and light parts overlap on a key) and are used
     extensively by the consistency checkers exercised in the test suite.
     """
+
+
+class StaleStateError(ReproError):
+    """A snapshot or enumerator outlived the engine state it was built on.
+
+    ``engine.load()`` replaces the engine's database, views, and indicator
+    structures wholesale; any :class:`repro.snapshot.Snapshot` or live
+    enumerator created against the previous load would otherwise silently
+    read a mixture of old and new state.  Both raise this error instead.
+    """

@@ -105,6 +105,11 @@ class MaintenanceDriver:
         self.processor = UpdateProcessor(plan, database)
         self.batch_processor = BatchUpdateProcessor(plan, database, self.processor)
         self.stats = RebalanceStats()
+        # Monotonically increasing engine version: one tick per ingestion
+        # event (a single-tuple update or a consolidated batch).  Snapshots
+        # (repro.snapshot) are stamped with this counter, so "the engine at
+        # version v" means "after the first v ingestion events".
+        self.version = 0
         # Definition 51: the initial threshold base is 2N + 1.
         self.threshold_base = 2 * database.size + 1
 
@@ -123,6 +128,7 @@ class MaintenanceDriver:
         """Process one update and rebalance if necessary (Figure 22)."""
         self.processor.apply_update(update)
         self.stats.updates += 1
+        self.version += 1
         if not self.enable_rebalancing:
             return
         size = self.database.size
@@ -159,6 +165,7 @@ class MaintenanceDriver:
         self.batch_processor.apply_batch(batch, validated=validated)
         self.stats.updates += batch.source_count
         self.stats.batches += 1
+        self.version += 1
         if not self.enable_rebalancing:
             return
         size = self.database.size

@@ -16,7 +16,11 @@ facade over a fleet of per-shard engines:
   by several shards (possible only when the shard key is bound);
 * **invariants** — ``check_invariants`` runs every shard's deep probe plus
   the cross-shard placement check (every stored tuple hashes to the shard
-  holding it).
+  holding it);
+* **snapshots** — ``snapshot`` captures every shard at a consistent
+  version in one executor round and answers reads through the same k-way
+  merge, so maintenance keeps flowing while readers enumerate an immutable
+  :class:`ShardedSnapshot` (see :mod:`repro.snapshot`).
 
 Why shard at all?  Each shard plans against its own (four-times-smaller, at
 four shards) database, so its heavy/light threshold ``M_shard^ε`` drops:
@@ -41,7 +45,7 @@ from repro.data.database import Database
 from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateBatch, validate_batch_size
 from repro.enumeration.union import merge_shards
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, StaleStateError
 from repro.ivm.rebalance import RebalanceStats
 from repro.sharding.executor import EXECUTORS, ShardExecutor
 from repro.sharding.router import ShardRouter
@@ -58,8 +62,10 @@ class ShardMergeEnumerator:
 
     def __init__(self, engine: "ShardedEngine") -> None:
         self._engine = engine
+        self._generation = engine._generation
 
     def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
+        self._engine._check_generation(self._generation)
         return merge_shards(self._engine._sorted_shard_results())
 
     def to_dict(self) -> Dict[ValueTuple, int]:
@@ -69,6 +75,99 @@ class ShardMergeEnumerator:
     def count_distinct(self) -> int:
         """Number of distinct result tuples across all shards."""
         return sum(1 for _ in self)
+
+
+class ShardedSnapshot:
+    """An immutable handle onto one version of a sharded deployment.
+
+    Capture takes one shard-local :class:`repro.snapshot.Snapshot` per shard
+    in a single executor round (cheap: no view content is copied); reads
+    fetch each shard snapshot's canonical enumeration and run them through
+    the same order-preserving k-way merge as live sharded enumeration, so
+    the sequence is exactly what ``engine.enumerate()`` produced at the
+    captured version.  ``version`` counts the facade's ingestion events
+    (one per ``apply`` / ``apply_batch`` / ``apply_stream`` chunk), and
+    ``shard_versions`` records each shard's own event counter at capture.
+    """
+
+    def __init__(
+        self,
+        engine: "ShardedEngine",
+        snapshot_ids: Dict[int, int],
+        shard_versions: Tuple[int, ...],
+        version: int,
+    ) -> None:
+        self._engine = engine
+        self._generation = engine._generation
+        self._snapshot_ids = dict(snapshot_ids)
+        self.shard_versions = shard_versions
+        self.version = version
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _executor(self) -> ShardExecutor:
+        if self._closed:
+            raise StaleStateError("this sharded snapshot has been closed")
+        self._engine._check_generation(self._generation)
+        return self._engine._require_loaded()
+
+    def enumerate(self) -> Iterator[Tuple[ValueTuple, int]]:
+        """Merged canonical enumeration of the captured per-shard results."""
+        executor = self._executor()
+        results = executor.map(
+            {
+                shard: ("snap_enumerate", snapshot_id)
+                for shard, snapshot_id in self._snapshot_ids.items()
+            }
+        )
+        return merge_shards([results[shard] for shard in sorted(results)])
+
+    def result(self) -> Dict[ValueTuple, int]:
+        """Materialize the captured result as ``{tuple: multiplicity}``."""
+        return {tup: mult for tup, mult in self.enumerate()}
+
+    def count_distinct(self) -> int:
+        """Number of distinct result tuples in the captured version."""
+        return sum(1 for _ in self.enumerate())
+
+    def lookup(self, tup: ValueTuple) -> int:
+        """Multiplicity of one full result tuple (summed across shards)."""
+        executor = self._executor()
+        tup = tuple(tup)
+        results = executor.map(
+            {
+                shard: ("snap_lookup", (snapshot_id, tup))
+                for shard, snapshot_id in self._snapshot_ids.items()
+            }
+        )
+        return sum(results.values())
+
+    def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
+        return self.enumerate()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the per-shard snapshots (idempotent; survives re-loads)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._engine._generation != self._generation:
+            return  # the executor that held the shard snapshots is gone
+        executor = self._engine._executor
+        if executor is None:
+            return
+        executor.map(
+            {
+                shard: ("snap_release", snapshot_id)
+                for shard, snapshot_id in self._snapshot_ids.items()
+            }
+        )
+
+    def __enter__(self) -> "ShardedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ShardedEngine:
@@ -106,6 +205,14 @@ class ShardedEngine:
         self.router = ShardRouter(self.query, shards, shard_key)
         self.shard_key = self.router.shard_key
         self._executor: Optional[ShardExecutor] = None
+        # Bumped by every load(); snapshots and enumerators created against
+        # an earlier load raise StaleStateError instead of silently reading
+        # the replaced deployment.
+        self._generation = 0
+        # Facade-level ingestion counter: one tick per apply / apply_batch
+        # (and per apply_stream chunk), mirroring the single engine's
+        # MaintenanceDriver.version.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -132,6 +239,8 @@ class ShardedEngine:
         """
         if self._executor is not None:
             self.close()
+        self._generation += 1
+        self._version = 0
         shard_databases = self.router.split_database(database)
         self.executor_name = self._resolve_executor(database.size)
         self._executor = EXECUTORS[self.executor_name]()
@@ -171,6 +280,13 @@ class ShardedEngine:
             raise ReproError("the engine has no database; call load() first")
         return self._executor
 
+    def _check_generation(self, generation: int) -> None:
+        if self._generation != generation:
+            raise StaleStateError(
+                "the sharded deployment was replaced by load() after this "
+                "snapshot/enumerator was created; capture a new one"
+            )
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
@@ -194,6 +310,7 @@ class ShardedEngine:
             "update",
             (update.relation, update.tuple, update.multiplicity),
         )
+        self._version += 1
 
     apply_update = apply
 
@@ -219,6 +336,7 @@ class ShardedEngine:
         else:
             sub_batches = self.router.split_updates(updates)
         if not sub_batches:
+            self._version += 1
             return
         pre_validated = len(sub_batches) > 1
         if pre_validated:
@@ -231,6 +349,7 @@ class ShardedEngine:
                 for shard, batch in sub_batches.items()
             }
         )
+        self._version += 1
 
     def apply_stream(
         self, updates: Iterable[Update], batch_size: Optional[int] = None
@@ -283,6 +402,41 @@ class ShardedEngine:
 
     def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
         return iter(self.enumerate())
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Facade-level ingestion counter (ticks per apply / apply_batch)."""
+        self._require_loaded()
+        return self._version
+
+    def shard_versions(self) -> Tuple[int, ...]:
+        """Every shard's own ingestion-event counter, in shard order."""
+        return tuple(self._require_loaded().broadcast("version"))
+
+    def snapshot(self) -> ShardedSnapshot:
+        """Capture every shard at a consistent version in one round.
+
+        Each shard takes a local :meth:`HierarchicalEngine.snapshot` (no
+        view content is copied) and the facade records the handle ids;
+        reads merge the per-shard captures through the canonical k-way
+        merge, so the snapshot enumerates exactly what live sharded
+        enumeration produced at this version.  Like the single-engine
+        capture, this must not race a mutating call —
+        :class:`repro.core.serving.EngineServer` (or any external lock)
+        serializes capture against the writer; reads need no lock at all.
+        """
+        executor = self._require_loaded()
+        replies = executor.map(
+            {shard: ("snapshot", None) for shard in range(executor.shard_count)}
+        )
+        snapshot_ids = {shard: replies[shard][0] for shard in replies}
+        shard_versions = tuple(
+            replies[shard][1] for shard in range(executor.shard_count)
+        )
+        return ShardedSnapshot(self, snapshot_ids, shard_versions, self._version)
 
     # ------------------------------------------------------------------
     # introspection and invariants

@@ -3,7 +3,11 @@
 The sharded engine talks to its shards through a tiny command set —
 ``load``, ``update``, ``batch``, ``result``, ``enumerate`` (sorted),
 ``check`` (engine invariants + placement), ``stats``, ``view_size``,
-``size``, ``threshold`` — so the same facade drives three deployments:
+``size``, ``threshold``, ``version``, plus the snapshot quartet
+``snapshot`` / ``snap_enumerate`` / ``snap_lookup`` / ``snap_release``
+(shard-local :class:`repro.snapshot.Snapshot` handles held in a per-worker
+registry and addressed by integer id, so they work identically in-process
+and across a worker pipe) — so the same facade drives three deployments:
 
 * :class:`SerialExecutor` — per-shard engines in-process, commands run in a
   loop.  Zero overhead, no parallelism; the default for small databases and
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import builtins
 import multiprocessing
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -77,6 +82,13 @@ class _ShardServer:
         self.engine = HierarchicalEngine(query_text, **engine_kwargs)
         self.router = ShardRouter(self.engine.query, shard_count, shard_key)
         self.shard_index = shard_index
+        # Shard-local snapshot registry: handles cannot cross a process
+        # pipe, so the facade holds integer ids and reads through the
+        # snap_* commands below.  Entries are ``[snapshot, sorted_result]``
+        # — snapshots are immutable, so the canonical enumeration is
+        # computed once and replayed on every later read of the same id.
+        self._snapshots: Dict[int, List[Any]] = {}
+        self._snapshot_seq = 0
 
     def handle(self, command: str, payload: Any) -> Any:
         if command == "update":
@@ -100,6 +112,25 @@ class _ShardServer:
             return None
         if command == "enumerate":
             return sort_shard_result(self.engine.enumerate())
+        if command == "snapshot":
+            self._snapshot_seq += 1
+            self._snapshots[self._snapshot_seq] = [self.engine.snapshot(), None]
+            return (self._snapshot_seq, self.engine.version)
+        if command == "snap_enumerate":
+            entry = self._snapshot(payload)
+            if entry[1] is None:
+                entry[1] = sort_shard_result(entry[0].enumerate())
+            return entry[1]
+        if command == "snap_lookup":
+            snapshot_id, tup = payload
+            return self._snapshot(snapshot_id)[0].lookup(tuple(tup))
+        if command == "snap_release":
+            entry = self._snapshots.pop(payload, None)
+            if entry is not None:
+                entry[0].close()
+            return None
+        if command == "version":
+            return self.engine.version
         if command == "check":
             self.engine.check_invariants()
             self.router.check_placement(self.engine.database, self.shard_index)
@@ -114,6 +145,15 @@ class _ShardServer:
         if command == "threshold":
             return self.engine.threshold
         raise ValueError(f"unknown shard command {command!r}")
+
+    def _snapshot(self, snapshot_id: int):
+        try:
+            return self._snapshots[snapshot_id]
+        except KeyError as exc:
+            raise repro_exceptions.StaleStateError(
+                f"shard {self.shard_index} holds no snapshot {snapshot_id} "
+                "(released, or the engine was re-loaded)"
+            ) from exc
 
 
 def _load_server(
@@ -299,6 +339,11 @@ class ProcessExecutor(ShardExecutor):
         context = multiprocessing.get_context()
         self._connections = []
         self._processes = []
+        # One lock per pipe: concurrent reader sessions (snapshot reads) and
+        # the writer would otherwise interleave send/recv pairs on the same
+        # connection and desynchronize it.  ``map`` acquires locks in sorted
+        # shard order, so overlapping multi-shard commands cannot deadlock.
+        self._conn_locks = [threading.Lock() for _ in databases]
         for index, database in enumerate(databases):
             parent_end, child_end = context.Pipe()
             process = context.Process(
@@ -328,26 +373,44 @@ class ProcessExecutor(ShardExecutor):
         return reply[1]
 
     def call(self, shard_index, command, payload=None):
-        connection = self._connections[shard_index]
-        connection.send((command, payload))
-        return self._receive(connection)
+        with self._conn_locks[shard_index]:
+            connection = self._connections[shard_index]
+            connection.send((command, payload))
+            return self._receive(connection)
 
     def map(self, commands):
-        for index, (command, payload) in commands.items():
-            self._connections[index].send((command, payload))
-        # Drain every reply before raising: leaving a queued reply behind
-        # would desynchronize that shard's pipe and corrupt every later
-        # command on it.  The first worker-side error is re-raised after
-        # all pipes are level again.
+        ordered = sorted(commands)
+        held = set()
         results: Dict[int, Any] = {}
         first_error: Optional[Tuple[str, str]] = None
-        for index in commands:
-            reply = self._connections[index].recv()
-            if reply[0] == "error":
-                if first_error is None:
-                    first_error = (reply[1], reply[2])
-            else:
-                results[index] = reply[1]
+        # Every acquired lock is released exactly once even when a pipe
+        # dies mid-round (BrokenPipeError on send, EOFError on recv): a
+        # leaked lock would deadlock every later command on that shard
+        # instead of surfacing the worker failure.
+        try:
+            for index in ordered:
+                command, payload = commands[index]
+                self._conn_locks[index].acquire()
+                held.add(index)
+                self._connections[index].send((command, payload))
+            # Drain every reply before raising: leaving a queued reply
+            # behind would desynchronize that shard's pipe and corrupt
+            # every later command on it.  The first worker-side error is
+            # re-raised after all pipes are level again.
+            for index in ordered:
+                try:
+                    reply = self._connections[index].recv()
+                finally:
+                    self._conn_locks[index].release()
+                    held.discard(index)
+                if reply[0] == "error":
+                    if first_error is None:
+                        first_error = (reply[1], reply[2])
+                else:
+                    results[index] = reply[1]
+        finally:
+            for index in held:
+                self._conn_locks[index].release()
         if first_error is not None:
             _raise_remote(*first_error)
         return results

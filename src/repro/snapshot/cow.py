@@ -1,0 +1,147 @@
+"""Copy-on-write capture of relation contents.
+
+A snapshot must observe the engine exactly as it was at capture time while
+maintenance keeps mutating the same :class:`~repro.data.relation.Relation`
+objects in place.  Copying every relation at capture would make ``snapshot()``
+cost ``O(state)``; instead the tracker freezes relations lazily, from
+whichever side touches them first:
+
+* **writer side** — every relation reachable from a snapshot carries a
+  ``_cow`` pointer to its engine's :class:`CowTracker`.  The first mutation
+  after a capture (the relation's ``_cow_epoch`` trails the tracker's
+  ``epoch``) calls :meth:`CowTracker.preserve`, which stores a frozen copy of
+  the *pre-mutation* content into every active snapshot that does not hold
+  one yet.  Later mutations in the same epoch skip the tracker entirely, so
+  the steady-state overhead per mutation is one attribute load and one int
+  comparison;
+* **reader side** — a snapshot read resolves a relation through
+  :meth:`CowTracker.freeze`.  If the writer already preserved it, the frozen
+  copy is returned; otherwise the relation provably has not changed since the
+  capture (the writer guard fires on the *first* post-capture mutation), so
+  copying its current content under the tracker lock yields exactly the
+  capture-time state.
+
+Frozen copies are cached per relation keyed by its ``_change_ticks`` mutation
+counter, so consecutive snapshots of a quiescent relation share one copy
+instead of re-copying per capture.  The cache lives on the relation object
+itself (``_cow_cache``), which sidesteps ``id()`` aliasing after major
+rebalances replace view relations and lets dead relations take their cache
+entries with them.
+
+Thread-safety relies on the tracker lock plus CPython's GIL: the lock makes
+"check whether a frozen copy exists, else copy the dict" atomic against the
+writer guard, and ``dict(d)`` itself is a single C-level operation.  Captures
+(:meth:`CowTracker.capture`) must not run concurrently with a mutating call —
+:class:`repro.core.serving.EngineServer` serializes capture against its
+writer for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from typing import Dict, Iterable, List, Optional
+
+from repro.data.relation import Relation
+
+# Epochs are globally unique so a relation that survives an ``engine.load()``
+# (``copy_database=False``) can never collide with a fresh tracker's epoch
+# through its stale ``_cow_epoch`` field.
+_EPOCHS = itertools.count(1)
+
+
+def frozen_copy(relation: Relation) -> Relation:
+    """Return an immutable-by-convention copy of ``relation``'s content.
+
+    Reuses the relation's cached copy when the content has not changed since
+    the cache entry was made.  Must be called under the tracker lock.
+    """
+    cached = relation._cow_cache
+    if cached is not None and cached[0] == relation._change_ticks:
+        return cached[1]
+    clone = Relation(relation.name, relation.schema)
+    clone._data = dict(relation._data)
+    relation._cow_cache = (relation._change_ticks, clone)
+    return clone
+
+
+class SnapshotState:
+    """The frozen overlay of one snapshot: live relation → frozen copy."""
+
+    def __init__(self) -> None:
+        # Keyed by the live Relation object (identity hash): id() reuse after
+        # garbage collection could alias two different relations, an object
+        # key cannot.
+        self.frozen: Dict[Relation, Relation] = {}
+        self.closed = False
+
+
+class CowTracker:
+    """Per-engine coordinator between one writer and any number of snapshots."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.epoch = next(_EPOCHS)
+        self._active: List["weakref.ref[SnapshotState]"] = []
+
+    # -- capture (snapshot side, serialized against writes by the caller) ---
+    def capture(self, relations: Iterable[Relation]) -> SnapshotState:
+        """Open a new snapshot over ``relations`` and bump the epoch.
+
+        Cost is ``O(#relations)`` bookkeeping — no content is copied here.
+        """
+        state = SnapshotState()
+        with self.lock:
+            self.epoch = next(_EPOCHS)
+            self._active = [
+                ref for ref in self._active if self._live(ref) is not None
+            ]
+            self._active.append(weakref.ref(state))
+            for relation in relations:
+                if relation._cow is not self:
+                    relation._cow = self
+                    relation._cow_epoch = -1
+        return state
+
+    @staticmethod
+    def _live(ref: "weakref.ref[SnapshotState]") -> Optional[SnapshotState]:
+        state = ref()
+        if state is None or state.closed:
+            return None
+        return state
+
+    def release(self, state: SnapshotState) -> None:
+        """Close a snapshot so the writer stops preserving into it."""
+        with self.lock:
+            state.closed = True
+            state.frozen = {}
+            self._active = [
+                ref for ref in self._active if self._live(ref) is not None
+            ]
+
+    # -- writer side --------------------------------------------------------
+    def preserve(self, relation: Relation) -> None:
+        """Store ``relation``'s current content into every open snapshot.
+
+        Called by :meth:`repro.data.relation.Relation._cow_guard` immediately
+        *before* the first mutation of a new epoch, so the copied content is
+        exactly what every snapshot without a copy captured.
+        """
+        with self.lock:
+            for ref in self._active:
+                state = self._live(ref)
+                if state is not None and relation not in state.frozen:
+                    state.frozen[relation] = frozen_copy(relation)
+
+    # -- reader side --------------------------------------------------------
+    def freeze(self, state: SnapshotState, relation: Relation) -> Relation:
+        """Resolve ``relation`` to its capture-time content for ``state``."""
+        with self.lock:
+            frozen = state.frozen.get(relation)
+            if frozen is None:
+                # The writer guard has not fired for this relation since the
+                # capture, so its live content *is* the capture-time content.
+                frozen = frozen_copy(relation)
+                state.frozen[relation] = frozen
+            return frozen

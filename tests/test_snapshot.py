@@ -1,0 +1,316 @@
+"""Versioned snapshots: isolation vs a replayed oracle, staleness, lifecycle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, HierarchicalEngine, StaticEngine, Update
+from repro.baselines import NaiveRecomputeEngine
+from repro.conformance import (
+    DataProfile,
+    check_snapshot_isolation,
+    random_database,
+    random_labeled_query,
+    random_update_stream,
+)
+from repro.exceptions import ReproError, StaleStateError
+from repro.sharding import ShardedEngine
+
+PATH_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+
+
+def path_db(seed: int = 5, size: int = 60, domain: int = 12) -> Database:
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            "R": (
+                ("A", "B"),
+                [(rng.randrange(domain * 3), rng.randrange(domain)) for _ in range(size)],
+            ),
+            "S": (
+                ("B", "C"),
+                [(rng.randrange(domain), rng.randrange(domain * 3)) for _ in range(size)],
+            ),
+        }
+    )
+
+
+def random_updates(seed: int, count: int, domain: int = 12):
+    rng = random.Random(seed)
+    updates = []
+    inserted = []
+    for index in range(count):
+        if inserted and index % 3 == 2:
+            relation, tup = inserted.pop(rng.randrange(len(inserted)))
+            updates.append(Update(relation, tup, -1))
+        elif index % 2 == 0:
+            tup = (rng.randrange(domain * 3), rng.randrange(domain))
+            inserted.append(("R", tup))
+            updates.append(Update("R", tup, 1))
+        else:
+            tup = (rng.randrange(domain), rng.randrange(domain * 3))
+            inserted.append(("S", tup))
+            updates.append(Update("S", tup, 1))
+    return updates
+
+
+class TestSnapshotBasics:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+    def test_snapshot_is_frozen_at_capture(self, epsilon):
+        engine = HierarchicalEngine(PATH_QUERY, epsilon=epsilon)
+        engine.load(path_db())
+        oracle = NaiveRecomputeEngine(PATH_QUERY).load(path_db())
+        captures = []
+        for index, update in enumerate(random_updates(seed=6, count=40)):
+            engine.apply(update)
+            oracle.apply(update)
+            if index % 10 == 0:
+                captures.append(
+                    (engine.snapshot(), dict(oracle.result()), list(engine.enumerate()))
+                )
+        for snapshot, truth, live_sequence in captures:
+            assert dict(snapshot.result()) == truth
+            assert list(snapshot.enumerate()) == live_sequence
+            for tup, mult in list(truth.items())[:3]:
+                assert snapshot.lookup(tup) == mult
+            assert snapshot.lookup((object(), object())) == 0
+
+    def test_version_counts_ingestion_events(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db())
+        assert engine.version == 0
+        assert engine.snapshot().version == 0
+        engine.update("R", (1, 2))
+        assert engine.version == 1
+        engine.apply_batch(random_updates(seed=1, count=6))
+        assert engine.version == 2
+        assert engine.snapshot().version == 2
+
+    def test_lookup_rejects_wrong_arity(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db())
+        with pytest.raises(ValueError):
+            engine.snapshot().lookup((1,))
+
+    def test_snapshot_requires_load(self):
+        engine = HierarchicalEngine(PATH_QUERY)
+        with pytest.raises(ReproError):
+            engine.snapshot()
+
+    def test_static_engine_snapshot(self):
+        engine = StaticEngine(PATH_QUERY).load(path_db())
+        snapshot = engine.snapshot()
+        assert snapshot.version == 0
+        assert dict(snapshot.result()) == dict(engine.result())
+
+    def test_closed_snapshot_stops_tracking(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db())
+        truth = dict(engine.result())
+        snapshot = engine.snapshot()
+        held = engine.snapshot()
+        snapshot.close()
+        for update in random_updates(seed=9, count=20):
+            engine.apply(update)
+        # the still-open capture is unaffected by its sibling's close()
+        assert dict(held.result()) == truth
+
+    def test_count_distinct_and_iter(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db())
+        snapshot = engine.snapshot()
+        assert snapshot.count_distinct() == engine.count_distinct()
+        assert dict(iter(snapshot)) == dict(engine.result())
+
+
+class TestSnapshotAcrossRebalances:
+    def test_major_rebalance_does_not_leak_into_snapshot(self):
+        engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5)
+        engine.load(path_db(size=30))
+        truth = dict(engine.result())
+        sequence = list(engine.enumerate())
+        snapshot = engine.snapshot()
+        rng = random.Random(3)
+        # quadruple the database size: the threshold base must double at
+        # least once, recomputing every view under the snapshot
+        for _ in range(150):
+            engine.update("R", (rng.randrange(200), rng.randrange(12)), 1)
+        assert engine.rebalance_stats.major_rebalances >= 1
+        assert dict(snapshot.result()) == truth
+        assert list(snapshot.enumerate()) == sequence
+
+    def test_minor_rebalance_does_not_leak_into_snapshot(self):
+        engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5, enable_rebalancing=True)
+        engine.load(path_db(size=60))
+        snapshot = engine.snapshot()
+        truth = dict(snapshot.result())
+        # hammer one join key across the heavy/light border repeatedly:
+        # threshold is M^0.5 = (2*120+1)^0.5 ~ 15.5, so degree 30 crosses
+        # the loose 1.5*theta bound upward and degree ~5 the theta/2 bound
+        # back down
+        hot = 3
+        for round_ in range(4):
+            for i in range(28):
+                engine.update("R", (1000 + i, hot), 1)
+            for i in range(28):
+                engine.update("R", (1000 + i, hot), -1)
+        assert engine.rebalance_stats.minor_rebalances >= 1
+        assert dict(snapshot.result()) == truth
+
+    def test_snapshot_taken_after_updates_sees_them(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db())
+        engine.update("R", (999, 1), 1)
+        engine.update("S", (1, 888), 1)
+        snapshot = engine.snapshot()
+        assert snapshot.lookup((999, 888)) >= 1
+
+
+profiles = st.builds(
+    DataProfile,
+    tuples_per_relation=st.integers(min_value=4, max_value=16),
+    domain=st.integers(min_value=3, max_value=8),
+    skew=st.sampled_from((0.0, 0.8, 2.0)),
+    heavy_fraction=st.sampled_from((0.0, 0.4)),
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSnapshotPropertyBased:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=seeds, profile=profiles, epsilon=st.sampled_from((0.0, 0.5, 1.0)))
+    def test_snapshot_equals_oracle_replayed_to_version(self, seed, profile, epsilon):
+        """For random workloads, ``snapshot()`` at version v enumerates what a
+        fresh naive oracle replayed-to-v produces — even after further
+        interleaved batches (rebalances included) hit the live engine."""
+        rng = random.Random(seed)
+        labeled = random_labeled_query(rng)
+        database = random_database(labeled.query, profile, seed=rng.randrange(1 << 30))
+        stream = random_update_stream(
+            database, 24, profile, delete_fraction=0.4, seed=rng.randrange(1 << 30)
+        )
+        check_snapshot_isolation(
+            str(labeled.query), epsilon, database, list(stream), shard_counts=(1, 2, 4)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds)
+    def test_snapshot_survives_forced_growth(self, seed):
+        """Interleaved insert-heavy batches that force doubling rebalances."""
+        rng = random.Random(seed)
+        engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5)
+        engine.load(path_db(seed=seed % 100, size=20))
+        oracle = NaiveRecomputeEngine(PATH_QUERY).load(path_db(seed=seed % 100, size=20))
+        captures = []
+        for round_ in range(4):
+            batch = [
+                Update("R", (rng.randrange(500), rng.randrange(10)), 1)
+                for _ in range(30)
+            ]
+            engine.apply_batch(batch)
+            oracle.apply_batch(batch)
+            captures.append((engine.snapshot(), dict(oracle.result())))
+        assert engine.rebalance_stats.major_rebalances >= 1
+        for snapshot, truth in captures:
+            assert dict(snapshot.result()) == truth
+
+
+class TestStaleAfterLoad:
+    """Regression: reads must raise instead of reflecting a replaced database."""
+
+    def test_single_engine_snapshot_goes_stale(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db(seed=1))
+        snapshot = engine.snapshot()
+        engine.load(path_db(seed=2))
+        with pytest.raises(StaleStateError):
+            snapshot.result()
+        with pytest.raises(StaleStateError):
+            snapshot.lookup((1, 2))
+        with pytest.raises(StaleStateError):
+            list(snapshot.enumerate())
+
+    def test_single_engine_enumerator_goes_stale(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db(seed=1))
+        enumerator = engine.enumerate()
+        engine.load(path_db(seed=2))
+        with pytest.raises(StaleStateError):
+            list(enumerator)
+
+    def test_single_engine_enumerator_goes_stale_mid_iteration(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db(seed=1))
+        iterator = iter(engine.enumerate())
+        next(iterator)
+        engine.load(path_db(seed=2))
+        with pytest.raises(StaleStateError):
+            for _ in iterator:
+                pass
+
+    def test_stale_error_is_a_repro_error(self):
+        assert issubclass(StaleStateError, ReproError)
+
+    def test_fresh_reads_after_reload_work(self):
+        engine = HierarchicalEngine(PATH_QUERY).load(path_db(seed=1))
+        engine.load(path_db(seed=2))
+        assert dict(engine.snapshot().result()) == dict(engine.result())
+
+    def test_sharded_snapshot_goes_stale(self):
+        engine = ShardedEngine(PATH_QUERY, shards=3, executor="serial")
+        engine.load(path_db(seed=1))
+        snapshot = engine.snapshot()
+        engine.load(path_db(seed=2))
+        with pytest.raises(StaleStateError):
+            snapshot.result()
+        with pytest.raises(StaleStateError):
+            snapshot.lookup((1, 2))
+        snapshot.close()  # idempotent even though the old executor is gone
+        engine.close()
+
+    def test_sharded_enumerator_goes_stale(self):
+        engine = ShardedEngine(PATH_QUERY, shards=3, executor="serial")
+        engine.load(path_db(seed=1))
+        enumerator = engine.enumerate()
+        engine.load(path_db(seed=2))
+        with pytest.raises(StaleStateError):
+            list(enumerator)
+        engine.close()
+
+    def test_sharded_closed_snapshot_rejects_reads(self):
+        engine = ShardedEngine(PATH_QUERY, shards=2, executor="serial")
+        engine.load(path_db(seed=1))
+        snapshot = engine.snapshot()
+        snapshot.close()
+        with pytest.raises(StaleStateError):
+            snapshot.result()
+        engine.close()
+
+
+class TestShardedSnapshots:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_sharded_snapshot_matches_prefix(self, executor):
+        engine = ShardedEngine(PATH_QUERY, shards=3, epsilon=0.5, executor=executor)
+        engine.load(path_db(seed=4))
+        single = HierarchicalEngine(PATH_QUERY, epsilon=0.5).load(path_db(seed=4))
+        batches = [random_updates(seed=40 + i, count=10) for i in range(3)]
+        captures = []
+        for batch in batches:
+            engine.apply_batch(batch)
+            single.apply_batch(batch)
+            captures.append((engine.snapshot(), list(engine.enumerate())))
+        engine.apply_batch(random_updates(seed=99, count=10))
+        for index, (snapshot, live_sequence) in enumerate(captures):
+            assert list(snapshot.enumerate()) == live_sequence
+            assert snapshot.version == index + 1
+            assert len(snapshot.shard_versions) == 3
+            snapshot.close()
+        engine.close()
+
+    def test_sharded_snapshot_lookup_sums_across_shards(self):
+        engine = ShardedEngine(PATH_QUERY, shards=4, executor="serial")
+        engine.load(path_db(seed=4))
+        truth = dict(engine.result())
+        snapshot = engine.snapshot()
+        engine.apply_batch(random_updates(seed=41, count=12))
+        for tup, mult in list(truth.items())[:4]:
+            assert snapshot.lookup(tup) == mult
+        assert snapshot.lookup((object(), object())) == 0
+        snapshot.close()
+        engine.close()

@@ -1,0 +1,90 @@
+"""Benchmark gate: re-run the asserted throughput claims so they cannot rot.
+
+Three benchmark modules assert headline performance ratios and record their
+tables under ``benchmarks/results/``:
+
+* ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
+* ``bench_sharded_scaling``    — 4 shards ≥ 2× 1 shard on ``hot_shard``;
+* ``bench_concurrent_serving`` — 4 snapshot readers ≥ 2× the serialized
+  read-after-write loop.
+
+Committed result files are claims about the code, and nothing in the unit
+suite re-checks them.  This gate replays the benchmark assertions::
+
+    python tools/bench_gate.py             # full-scale (minutes)
+    python tools/bench_gate.py --smoke     # CI mode: scaled-down workloads
+
+``--smoke`` sets ``REPRO_BENCH_SCALE=0.2`` (the serving benchmark pins its
+own lower bounds, so its fixed-wall-clock windows stay meaningful) and is
+wired into CI after ``make test``.  Exit status is non-zero as soon as any
+benchmark assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GATED_BENCHMARKS = (
+    "benchmarks/bench_batch_updates.py",
+    "benchmarks/bench_sharded_scaling.py",
+    "benchmarks/bench_concurrent_serving.py",
+)
+
+SMOKE_SCALE = "0.2"
+
+
+def run_gate(smoke: bool, benchmarks=GATED_BENCHMARKS) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if smoke:
+        env["REPRO_BENCH_SCALE"] = SMOKE_SCALE
+    failed = []
+    for module in benchmarks:
+        print(f"bench-gate: {module} ({'smoke' if smoke else 'full'} scale)", flush=True)
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", module, "-q", "--no-header"],
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        if result.returncode != 0:
+            failed.append(module)
+    if failed:
+        print(f"bench-gate: FAILED — {', '.join(failed)}")
+        return 1
+    print(f"bench-gate: all {len(benchmarks)} benchmark assertion sets hold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="re-run the asserted benchmark claims (see module docstring)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"scaled-down CI mode (REPRO_BENCH_SCALE={SMOKE_SCALE})",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="SUBSTR",
+        help="run only the gated benchmarks whose path contains SUBSTR",
+    )
+    args = parser.parse_args(argv)
+    benchmarks = GATED_BENCHMARKS
+    if args.only:
+        benchmarks = tuple(b for b in GATED_BENCHMARKS if args.only in b)
+        if not benchmarks:
+            parser.error(f"no gated benchmark matches {args.only!r}")
+    return run_gate(args.smoke, benchmarks)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,13 @@ Differential runs put :class:`repro.sharding.ShardedEngine` under test at
 shard counts {1, 2, 4, 7} next to the single engines and the baselines, and
 the ``shard-merge`` metamorphic property asserts sharded == single directly
 — so a shrunk repro JSON replays against both the sharded and unsharded
-paths with one ``--repro`` invocation.
+paths with one ``--repro`` invocation.  Every differential checkpoint also
+captures an ``engine.snapshot()`` and diffs it against the oracle at that
+version — re-checking the previous checkpoint's snapshot after further
+segments mutate the engine — and the ``snapshot-isolation`` metamorphic
+property asserts snapshot == fresh-replay-to-version for the single engine
+and the sharded facade at shard counts {1, 2, 4}, so shrunk repros replay
+snapshot reads too.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from repro.conformance import (  # noqa: E402 - sys.path bootstrap above
     check_partition_union,
     check_query_conformance,
     check_shard_merge,
+    check_snapshot_isolation,
     load_case,
     random_database,
     random_labeled_query,
@@ -65,6 +72,7 @@ METAMORPHIC_PROPERTIES = (
     "batch-permutation",
     "partition-union",
     "shard-merge",
+    "snapshot-isolation",
 )
 
 
@@ -144,6 +152,8 @@ def metamorphic_failure(case: ConformanceCase, prop: str):
             check_partition_union(factory, database, updates, parts=3)
         elif prop == "shard-merge":
             check_shard_merge(case.query, epsilon, database, updates)
+        elif prop == "snapshot-isolation":
+            check_snapshot_isolation(case.query, epsilon, database, updates)
     except AssertionError as exc:
         return Mismatch(
             engine=f"ivm(eps={epsilon})",
