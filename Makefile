@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage fuzz-smoke bench-smoke bench-batch bench-sharded bench-serving bench-gate docs-check install-dev
+.PHONY: test coverage fuzz-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-gate docs-check install-dev
 
 ## Tier-1 verification: the coverage gate first — it runs the full test
 ## suite exactly once (fail-fast, under the line collector when pytest-cov
@@ -46,6 +46,12 @@ bench-sharded:
 ## read-after-write loop (asserts >=2x aggregate enumeration throughput).
 bench-serving:
 	$(PY) -m pytest benchmarks/bench_concurrent_serving.py -q
+
+## Adaptive-epsilon benchmark: workload-adaptive retuning vs every fixed
+## epsilon on the phase_shift scenario (asserts >=2x the worst fixed
+## epsilon and within 20% of the best).
+bench-adaptive:
+	$(PY) -m pytest benchmarks/bench_adaptive.py -q
 
 ## Re-run every asserted benchmark claim at reduced scale (the CI gate).
 bench-gate:

@@ -22,6 +22,7 @@ Quickstart::
     print(engine.result())
 """
 
+from repro.adaptive import AdaptiveController, WorkloadTelemetry
 from repro.core.api import DynamicEngine, HierarchicalEngine, StaticEngine
 from repro.core.serving import EngineServer
 from repro.data.database import Database
@@ -39,6 +40,7 @@ from repro.widths.static_width import static_width
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveController",
     "Atom",
     "ConjunctiveQuery",
     "Database",
@@ -52,6 +54,7 @@ __all__ = [
     "Update",
     "UpdateBatch",
     "UpdateStream",
+    "WorkloadTelemetry",
     "atom",
     "classify",
     "dynamic_width",

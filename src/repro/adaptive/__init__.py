@@ -1,0 +1,28 @@
+"""Workload-adaptive ε retuning: telemetry, cost model, controller.
+
+The paper's ε knob trades update time ``O(N^{δε})`` against enumeration
+delay ``O(N^{1−ε})``; this package makes the knob *live*.  A
+:class:`WorkloadTelemetry` collector (threaded through the maintenance
+driver and the enumeration paths) observes the real read/write mix and
+per-operation costs; a :class:`CostModel` built on
+``plan.expected_exponents(ε)`` predicts what each candidate ε would cost
+under that mix; and an :class:`AdaptiveController` retunes the engine —
+via :meth:`repro.core.api.HierarchicalEngine.retune`, one major-rebalance
+pass — whenever the predicted win clears a hysteresis bar.  See
+``docs/architecture.md`` §11 for the full design, including when
+adaptation loses.
+"""
+
+from repro.adaptive.controller import (
+    DEFAULT_EPSILON_GRID,
+    AdaptiveController,
+    CostModel,
+)
+from repro.adaptive.telemetry import WorkloadTelemetry
+
+__all__ = [
+    "AdaptiveController",
+    "CostModel",
+    "DEFAULT_EPSILON_GRID",
+    "WorkloadTelemetry",
+]

@@ -1,0 +1,167 @@
+"""The adaptive ε policy: cost model plus hysteresis controller.
+
+The paper leaves ε as a free parameter: update time ``O(N^{δε})`` against
+enumeration delay ``O(N^{1−ε})`` (Theorems 2 and 4).  A fixed choice is
+right only for a fixed workload — a write burst wants small ε, a read-heavy
+serving phase wants large ε.  The two classes here close the loop:
+
+* :class:`CostModel` predicts the per-event cost of running at a candidate
+  ε.  The *shape* comes from :meth:`repro.core.planner.QueryPlan.\
+expected_exponents` — moving from the current ε to a candidate scales the
+  update term by ``N^{δ(ε−ε_cur)}`` and the read term by ``N^{ε_cur−ε}`` —
+  and the *scale* comes from telemetry: the observed EWMA per-event costs at
+  the current ε anchor both terms, so the model needs no hand-tuned
+  constants.  The asymptotic ratios deliberately over-estimate the cost of
+  moving away from the current operating point (real constants are smaller
+  than ``N^Δ``), which acts as built-in damping: the controller only moves
+  when the observed mix clearly calls for it.
+* :class:`AdaptiveController` evaluates the model over a candidate grid and
+  retunes the engine when the predicted win clears a hysteresis factor, at
+  most once per cooldown window.  Retuning costs one preprocessing pass
+  (:meth:`~repro.core.api.HierarchicalEngine.retune`), so the policy errs
+  toward staying put.
+
+The controller drives any engine exposing ``epsilon`` / ``plan`` /
+``telemetry`` / ``retune`` — both :class:`~repro.core.api.\
+HierarchicalEngine` and :class:`~repro.sharding.engine.ShardedEngine` —
+and :class:`repro.core.serving.EngineServer` consults it after every
+committed batch for hands-off auto-retuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adaptive.telemetry import WorkloadTelemetry
+
+DEFAULT_EPSILON_GRID: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class CostModel:
+    """Telemetry-anchored per-event cost prediction over candidate ε."""
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+
+    def predict(
+        self,
+        epsilon: float,
+        current_epsilon: float,
+        size: int,
+        telemetry: WorkloadTelemetry,
+    ) -> float:
+        """Predicted per-event cost (seconds) of running at ``epsilon``.
+
+        ``cost(ε) = (1−f)·C_u·N^{u(ε)−u(ε_cur)} + f·C_r·N^{d(ε)−d(ε_cur)}``
+        where ``u``/``d`` are the update/delay exponents of
+        ``plan.expected_exponents``, ``f`` is the EWMA read fraction, and
+        ``C_u``/``C_r`` are the observed EWMA per-event costs at the
+        current ε (1.0 when that kind has not been observed yet, which
+        reduces the term to the bare asymptotic ratio).
+        """
+        candidate = self.plan.expected_exponents(epsilon)
+        current = self.plan.expected_exponents(current_epsilon)
+        n = max(2.0, float(size))
+        update_cost = telemetry.ewma_update_seconds
+        read_cost = telemetry.ewma_read_seconds
+        if update_cost is None or update_cost <= 0.0:
+            update_cost = 1.0
+        if read_cost is None or read_cost <= 0.0:
+            read_cost = 1.0
+        update_exp = candidate.get("update", 0.0) - current.get("update", 0.0)
+        delay_exp = candidate["delay"] - current["delay"]
+        fraction = telemetry.read_fraction()
+        return (1.0 - fraction) * update_cost * n**update_exp + (
+            fraction * read_cost * n**delay_exp
+        )
+
+
+class AdaptiveController:
+    """Propose (and optionally apply) ε changes with hysteresis.
+
+    ``hysteresis`` is the minimum predicted cost ratio — current over best
+    candidate — before a retune is worth its preprocessing pass;
+    ``cooldown`` is the minimum number of telemetry events between
+    consecutive retunes (and before the first), so one noisy observation
+    cannot thrash the engine.
+    """
+
+    def __init__(
+        self,
+        engine,
+        epsilons: Sequence[float] = DEFAULT_EPSILON_GRID,
+        hysteresis: float = 1.5,
+        cooldown: int = 16,
+        telemetry: Optional[WorkloadTelemetry] = None,
+    ) -> None:
+        grid = tuple(sorted(set(float(e) for e in epsilons)))
+        if not grid:
+            raise ValueError("the candidate grid needs at least one epsilon")
+        for epsilon in grid:
+            if not 0.0 <= epsilon <= 1.0:
+                raise ValueError("every candidate epsilon must lie in [0, 1]")
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1.0 (a cost ratio)")
+        if cooldown < 1:
+            raise ValueError("cooldown must be a positive event count")
+        self.engine = engine
+        self.epsilons = grid
+        self.hysteresis = hysteresis
+        self.cooldown = cooldown
+        self.telemetry = telemetry if telemetry is not None else engine.telemetry
+        if self.telemetry is None:
+            raise ValueError(
+                "the engine was built with telemetry=False; pass a "
+                "WorkloadTelemetry to the controller (and feed it) instead"
+            )
+        self.model = CostModel(engine.plan)
+        self.retunes_applied = 0
+        self.history: List[Tuple[int, float]] = []
+        self._events_at_last_retune = 0
+
+    # ------------------------------------------------------------------
+    def _engine_size(self) -> int:
+        database = getattr(self.engine, "database", None)
+        if database is not None:
+            return database.size
+        return sum(self.engine.shard_sizes())
+
+    def predicted_costs(self) -> Dict[float, float]:
+        """The model's per-event cost for every grid candidate (and current ε)."""
+        size = self._engine_size()
+        current = self.engine.epsilon
+        candidates = set(self.epsilons) | {current}
+        return {
+            epsilon: self.model.predict(epsilon, current, size, self.telemetry)
+            for epsilon in sorted(candidates)
+        }
+
+    def propose(self) -> Optional[float]:
+        """The ε the engine should move to, or None to stay put.
+
+        Returns None inside the cooldown window, when no candidate beats
+        the current ε by the hysteresis factor, or when the winner *is*
+        the current ε.
+        """
+        events = self.telemetry.events
+        if events - self._events_at_last_retune < self.cooldown:
+            return None
+        costs = self.predicted_costs()
+        current = self.engine.epsilon
+        best = min(self.epsilons, key=lambda eps: (costs[eps], abs(eps - current)))
+        if best == current:
+            return None
+        if costs[current] < self.hysteresis * costs[best]:
+            return None
+        return best
+
+    def maybe_retune(self) -> Optional[float]:
+        """Apply :meth:`propose` to the engine; returns the ε applied or None."""
+        epsilon = self.propose()
+        if epsilon is None:
+            return None
+        self.engine.retune(epsilon)
+        self.retunes_applied += 1
+        self._events_at_last_retune = self.telemetry.events
+        self.history.append((self.telemetry.events, epsilon))
+        return epsilon

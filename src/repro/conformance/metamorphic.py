@@ -23,7 +23,11 @@ DBToaster lineage classically check):
   enumerates exactly what a fresh engine replayed to ``v`` produces (order
   included), and keeps doing so after the live engine ingests arbitrary
   further segments — including ones that trigger minor/major rebalances —
-  for both the single engine and the sharded facade.
+  for both the single engine and the sharded facade;
+* **retuning is invisible** — switching the live ε after an interleaved
+  prefix (``engine.retune``) must leave the engine result- and
+  order-equivalent to a fresh engine built at the new ε, through the whole
+  remaining stream, for the single engine and the sharded facade alike.
 
 Each check takes an ``engine_factory`` so it runs identically against
 :class:`~repro.core.api.HierarchicalEngine` at any ε and against every
@@ -189,6 +193,101 @@ def _segments(updates: Sequence[Update], parts: int) -> list:
     parts = max(1, parts)
     size = max(1, (len(updates) + parts - 1) // parts) if updates else 1
     return [updates[i : i + size] for i in range(0, len(updates), size)]
+
+
+def check_retune_equivalence(
+    query: str,
+    epsilon_before: float,
+    epsilon_after: float,
+    database: Database,
+    updates: Sequence[Update],
+    shard_counts: Sequence[int] = (1, 2, 4),
+    segments: int = 3,
+) -> None:
+    """``retune(ε₂)`` must equal a fresh engine built at ε₂ — order included.
+
+    After an interleaved prefix of batches, the engine retunes from ε₁ to
+    ε₂; from that point on it must be indistinguishable from
+
+    * a **rebuilt** engine: a fresh ε₂ engine loaded with the retuned
+      engine's current database — compared by exact enumeration sequence
+      (result *and* order) after the retune and after every suffix batch,
+      which pins retune-as-reload: same ``M = 2N + 1`` base, same strict
+      partitions, same view contents in the same order;
+    * a **replayed** engine: a fresh ε₂ engine loaded with the *original*
+      database and replayed over the whole stream — compared by result
+      dictionary (its threshold base evolved by doubling/halving instead
+      of being re-anchored, so partitions and enumeration order may
+      legitimately differ; results never may).
+
+    Both live engines then pass the deep invariant probe and the loose
+    partition check.  The sharded facade runs the same protocol at every
+    shard count; merged enumeration is canonical, so sequence equality
+    against a fresh sharded deployment covers result and order at once.
+    """
+    updates = list(updates)
+    batches = _segments(updates, segments)
+    cut = max(1, len(batches) // 2)
+    prefix, suffix = batches[:cut], batches[cut:]
+
+    retuned = HierarchicalEngine(query, epsilon=epsilon_before)
+    retuned.load(database)
+    for batch in prefix:
+        retuned.apply_batch(batch)
+    retuned.retune(epsilon_after)
+    assert retuned.epsilon == epsilon_after
+    rebuilt = HierarchicalEngine(query, epsilon=epsilon_after)
+    rebuilt.load(retuned.database)  # load() copies; the engines stay independent
+    replayed = HierarchicalEngine(query, epsilon=epsilon_after)
+    replayed.load(database)
+    for batch in prefix:
+        replayed.apply_batch(batch)
+    assert list(retuned.enumerate()) == list(rebuilt.enumerate()), (
+        "retuned engine enumerates differently from a fresh engine built at "
+        "the new epsilon over the same database"
+    )
+    for batch in suffix:
+        retuned.apply_batch(batch)
+        rebuilt.apply_batch(batch)
+        replayed.apply_batch(batch)
+        assert list(retuned.enumerate()) == list(rebuilt.enumerate()), (
+            "retuned and rebuilt engines diverged while ingesting the suffix"
+        )
+    assert dict(retuned.result()) == dict(replayed.result()), (
+        "retuned engine's result diverges from a fresh engine replayed at "
+        "the new epsilon"
+    )
+    retuned.check_invariants()
+    rebuilt.check_invariants()
+    if retuned._driver is not None:
+        retuned._driver.check_partitions()
+
+    if not is_shardable(retuned.query):
+        return
+    for shards in shard_counts:
+        sharded = ShardedEngine(
+            query, shards=shards, epsilon=epsilon_before, executor="serial"
+        )
+        sharded.load(database)
+        for batch in prefix:
+            sharded.apply_batch(batch)
+        sharded.retune(epsilon_after)
+        fresh = ShardedEngine(
+            query, shards=shards, epsilon=epsilon_after, executor="serial"
+        )
+        fresh.load(database)
+        for batch in prefix:
+            fresh.apply_batch(batch)
+        for batch in suffix:
+            sharded.apply_batch(batch)
+            fresh.apply_batch(batch)
+        assert list(sharded.enumerate()) == list(fresh.enumerate()), (
+            f"shard count {shards}: retuned sharded enumeration diverges "
+            "from a fresh deployment at the new epsilon"
+        )
+        sharded.check_invariants()
+        sharded.close()
+        fresh.close()
 
 
 def check_snapshot_isolation(

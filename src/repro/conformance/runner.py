@@ -30,6 +30,12 @@ must still match the oracle's capture-time result even though the engine
 has since ingested another segment (rebalances included).  Shrunk repro
 JSON files therefore replay snapshot reads exactly like live reads.
 
+At one case-deterministic checkpoint, every dynamic IVM engine (single and
+sharded) additionally **retunes** to a different ε mid-case
+(:meth:`~repro.core.api.HierarchicalEngine.retune`) — so every fuzzed
+workload also exercises live ε switching, including the interaction with
+snapshots held across the retune.
+
 Non-hierarchical cases are differential too: the planner must *reject* the
 query (the fragment gate is part of the contract), after which the
 baselines — which support arbitrary conjunctive queries — are diffed
@@ -39,6 +45,7 @@ against each other with the naive engine as oracle.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -58,6 +65,12 @@ from repro.query.parser import parse_query
 from repro.sharding import ShardedEngine
 
 DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 0.5, 1.0)
+
+# Candidate targets for the mid-case retune rehearsal: one checkpoint per
+# differential run switches every dynamic IVM engine's live ε (chosen
+# case-deterministically from this grid), so retuning is exercised against
+# the oracle on every fuzzed workload, not only in the dedicated tests.
+RETUNE_EPSILONS: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 # Every differential run exercises the sharded engine at these shard
 # counts (sequential and batched ingestion alternate so both dispatch
@@ -406,6 +419,17 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
     runners, oracle = _build_runners(case, supported, is_free_connex(query))
     segments = case.segments()
 
+    # Retune rehearsal: at one pseudo-random (but case-deterministic, so
+    # seeds and shrunk repros replay identically) checkpoint, every dynamic
+    # IVM engine switches to a different ε mid-case.  All the existing
+    # probes then apply to the retuned engines — result and delta diffs
+    # against the oracle, enumeration invariants, the deep invariant probe,
+    # and crucially snapshot isolation: the snapshot held since the
+    # previous checkpoint must survive the retune's strict repartition and
+    # view recompute untouched.
+    digest = zlib.crc32(case.to_json().encode("utf-8"))
+    retune_checkpoint = 1 + digest % len(segments) if segments else None
+
     oracle_previous: ResultDict = {}
     checkpoint = 0
     # checkpoint 0 observes the preprocessing output, before any update
@@ -415,6 +439,12 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
             oracle.apply_stream(segment)
             for runner in runners:
                 runner.ingest(segment)
+            if index == retune_checkpoint:
+                for offset, runner in enumerate(runners):
+                    if isinstance(runner.engine, (HierarchicalEngine, ShardedEngine)):
+                        runner.engine.retune(
+                            RETUNE_EPSILONS[(digest + offset) % len(RETUNE_EPSILONS)]
+                        )
         truth = dict(oracle.result())
         truth_delta = _delta(oracle_previous, truth)
         for runner in runners:

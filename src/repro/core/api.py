@@ -33,6 +33,11 @@ The ``epsilon`` parameter is the paper's trade-off knob: preprocessing runs
 in ``O(N^{1+(w−1)ε})``, enumeration delay is ``O(N^{1−ε})``, and (in dynamic
 mode) single-tuple updates take ``O(N^{δε})`` amortized time, where ``w`` and
 ``δ`` are the static and dynamic widths of the query (Theorems 2 and 4).
+The knob is *live*: :meth:`HierarchicalEngine.retune` switches a loaded
+dynamic engine to a new ε in one major-rebalance pass, and
+:mod:`repro.adaptive` drives it automatically from workload telemetry
+(every engine carries a :class:`~repro.adaptive.WorkloadTelemetry`
+collector recording per-operation update and enumeration costs).
 
 Beyond a single engine, :class:`repro.sharding.ShardedEngine` mirrors this
 facade (``apply_update`` / ``apply_batch`` / ``apply_stream`` /
@@ -60,6 +65,7 @@ from repro.exceptions import (
     UnsupportedQueryError,
 )
 from repro.exceptions import StaleStateError
+from repro.adaptive.telemetry import WorkloadTelemetry
 from repro.ivm.rebalance import MaintenanceDriver, RebalanceStats
 from repro.core.planner import (
     QueryPlan,
@@ -83,6 +89,7 @@ class HierarchicalEngine:
         mode: str = DYNAMIC_MODE,
         enable_rebalancing: bool = True,
         copy_database: bool = True,
+        telemetry: Union[WorkloadTelemetry, bool, None] = None,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError("epsilon must lie in [0, 1]")
@@ -92,10 +99,26 @@ class HierarchicalEngine:
         self.copy_database = copy_database
         self.plan: QueryPlan = plan_query(coerce_query(query), mode)
         self.query = self.plan.query
+        # Workload telemetry: every ingestion event and every enumeration
+        # records its size and wall-clock cost here, feeding the adaptive ε
+        # controller (repro.adaptive).  Callers may share one collector
+        # across engines by passing their own, or pass ``telemetry=False``
+        # to opt out entirely — updates then skip the timing calls and
+        # enumeration skips the recording wrapper.
+        if telemetry is False:
+            self.telemetry: Optional[WorkloadTelemetry] = None
+        elif telemetry is None or telemetry is True:
+            self.telemetry = WorkloadTelemetry()
+        else:
+            self.telemetry = telemetry
         self._database: Optional[Database] = None
         self._skew_plan: Optional[SkewAwarePlan] = None
         self._driver: Optional[MaintenanceDriver] = None
         self.preprocessing_seconds: Optional[float] = None
+        # Threshold base used by static mode, frozen at load() so the
+        # reported threshold can never drift from the one the views were
+        # materialized with (dynamic mode reads the driver's base instead).
+        self._static_threshold_base: Optional[float] = None
         # Bumped by every load(): snapshots and live enumerators created
         # against an earlier load raise StaleStateError instead of silently
         # reading the replaced state.
@@ -141,13 +164,30 @@ class HierarchicalEngine:
         return self._database
 
     @property
+    def threshold_base(self) -> float:
+        """The Definition 51 threshold base ``M`` — the single source of truth.
+
+        Dynamic mode reads the rebalance driver's base (initialized to
+        ``2N + 1`` and doubled/halved by major rebalancing under the
+        invariant ``⌊M/4⌋ ≤ N < M``); static mode reads the base frozen at
+        :meth:`load` time.  Every threshold this engine reports or checks
+        derives from this one value — never from the live database size,
+        which silently drifts from the driver's base between rebalances.
+        """
+        self._require_loaded()
+        if self._driver is not None:
+            return float(self._driver.threshold_base)
+        assert self._static_threshold_base is not None
+        return self._static_threshold_base
+
+    @property
     def threshold(self) -> float:
-        """The current heavy/light threshold (``N^ε`` static, ``M^ε`` dynamic)."""
+        """The current heavy/light threshold ``M^ε`` (see :attr:`threshold_base`)."""
         self._require_loaded()
         if self._driver is not None:
             return self._driver.threshold
-        assert self._database is not None
-        return max(1.0, float(self._database.size)) ** self.epsilon
+        assert self._static_threshold_base is not None
+        return self._static_threshold_base ** self.epsilon
 
     @property
     def rebalance_stats(self) -> Optional[RebalanceStats]:
@@ -220,12 +260,13 @@ class HierarchicalEngine:
                 self._database,
                 self.epsilon,
                 enable_rebalancing=self.enable_rebalancing,
+                telemetry=self.telemetry,
             )
-            threshold = self._driver.threshold
+            self._static_threshold_base = None
         else:
             self._driver = None
-            threshold = max(1.0, float(self._database.size)) ** self.epsilon
-        materialize_plan(self._skew_plan, threshold)
+            self._static_threshold_base = max(1.0, float(self._database.size))
+        materialize_plan(self._skew_plan, self.threshold)
         self.preprocessing_seconds = time.perf_counter() - started
         return self
 
@@ -258,7 +299,10 @@ class HierarchicalEngine:
         self._require_loaded()
         assert self._skew_plan is not None
         return ResultEnumerator(
-            self._skew_plan, self.query, validator=self._generation_validator()
+            self._skew_plan,
+            self.query,
+            validator=self._generation_validator(),
+            telemetry=self.telemetry,
         )
 
     def result(self) -> Dict[ValueTuple, int]:
@@ -369,6 +413,39 @@ class HierarchicalEngine:
                 "updates require mode='dynamic'; this engine was built for "
                 "static evaluation"
             )
+
+    # ------------------------------------------------------------------
+    # adaptive retuning
+    # ------------------------------------------------------------------
+    def retune(self, epsilon: float) -> None:
+        """Switch the live engine to a new ε without replaying the workload.
+
+        Reuses the major-rebalance machinery: the threshold base is
+        re-anchored at ``M = 2N + 1`` (what :meth:`load` would choose for
+        the current database), every partition is strictly repartitioned at
+        the new ``M^ε``, and every view is recomputed.  The retuned engine
+        is equivalent — same result, same enumeration order — to a fresh
+        engine constructed at ``epsilon`` over the current database, so
+        callers can flip the update/enumeration trade-off mid-stream as the
+        workload shifts (see :class:`repro.adaptive.AdaptiveController` for
+        the telemetry-driven policy, and ``benchmarks/bench_adaptive.py``
+        for what it buys on a phase-shifting workload).
+
+        Open snapshots keep serving their capture-time state (the retune
+        flows through the same copy-on-write guards as any major
+        rebalance); the engine version ticks once, and snapshots or
+        enumerators only go stale on :meth:`load`, exactly as before.
+        Costs one preprocessing pass — ``O(N^{1+(w−1)ε})`` — so it should
+        be driven by a hysteresis policy, not per update.  Static engines
+        cannot retune (re-``load`` instead); ``epsilon`` outside ``[0, 1]``
+        raises :class:`ValueError`.
+        """
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self._require_dynamic()
+        assert self._driver is not None
+        self._driver.retune(epsilon)
+        self.epsilon = epsilon
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -40,6 +40,7 @@ Example::
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -54,6 +55,7 @@ class ServingStats:
 
     batches_applied: int = 0
     reads_served: int = 0
+    retunes_applied: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def count_batch(self) -> None:
@@ -63,6 +65,10 @@ class ServingStats:
     def count_read(self) -> None:
         with self._lock:
             self.reads_served += 1
+
+    def count_retune(self) -> None:
+        with self._lock:
+            self.retunes_applied += 1
 
 
 class _PublishedVersion:
@@ -118,13 +124,21 @@ class ReadTicket:
 class EngineServer:
     """Serve one loaded engine to a writer thread and N reader sessions."""
 
-    def __init__(self, engine, mode: str = "snapshot") -> None:
+    def __init__(self, engine, mode: str = "snapshot", controller=None) -> None:
         if mode not in SERVING_MODES:
             raise ValueError(
                 f"unknown serving mode {mode!r}; choose one of {SERVING_MODES}"
             )
         self.engine = engine
         self.mode = mode
+        # Optional repro.adaptive.AdaptiveController: consulted after every
+        # committed batch (while the write lock is still held, before the
+        # new version is published), so the served ε tracks the observed
+        # read/write mix with no extra thread.  Reads feed the engine's
+        # telemetry with the enumeration costs they actually paid —
+        # snapshot reads bypass engine.enumerate(), so the server records
+        # them explicitly.
+        self.controller = controller
         self.stats = ServingStats()
         self._write_lock = threading.Lock()
         self._writer_thread: Optional[threading.Thread] = None
@@ -154,9 +168,17 @@ class EngineServer:
         return entry
 
     def apply_batch(self, updates) -> None:
-        """Ingest one consolidated batch, then publish the new version."""
+        """Ingest one consolidated batch, then publish the new version.
+
+        With a :attr:`controller` attached, the commit may auto-retune the
+        engine first — the published snapshot then already serves the new
+        ε, so readers never observe a half-retuned version.
+        """
         with self._write_lock:
             self.engine.apply_batch(updates)
+            if self.controller is not None:
+                if self.controller.maybe_retune() is not None:
+                    self.stats.count_retune()
             if self.mode == "snapshot":
                 self._publish_locked()
         self.stats.count_batch()
@@ -273,6 +295,7 @@ class EngineServer:
         ``limit`` tuples (a page, in the paper's constant-delay enumeration
         model) otherwise.
         """
+        started = time.perf_counter()
         if self.mode == "snapshot":
             entry = self._current_pinned()
             try:
@@ -280,6 +303,12 @@ class EngineServer:
                 version = entry.snapshot.version
             finally:
                 entry.unpin()
+            # snapshot reads bypass engine.enumerate(), so record the read
+            # into the engine's telemetry here (live reads in locked mode
+            # record themselves through the enumerator)
+            telemetry = getattr(self.engine, "telemetry", None)
+            if telemetry is not None:
+                telemetry.record_read(len(pairs), time.perf_counter() - started)
         else:
             with self._write_lock:
                 version = self.engine.version
@@ -299,8 +328,6 @@ class EngineServer:
         every session are returned (used by the stress tests and the
         concurrent-serving benchmark).  Reader exceptions propagate.
         """
-        import time
-
         deadline = time.perf_counter() + duration_seconds
         tickets: List[List[ReadTicket]] = [[] for _ in range(count)]
         errors: List[BaseException] = []

@@ -291,6 +291,20 @@ class Relation:
         key = tuple(var for var in self.schema if var in set(key_schema))
         return key in self._indexes
 
+    def invalidate_indexes(self) -> None:
+        """Drop every secondary index; the next use rebuilds from content.
+
+        Index key groups are insertion-ordered, so a long-lived index can
+        iterate its keys in an order that differs from one built fresh off
+        the current content (a group that partially empties keeps its
+        original position; a fresh build orders keys by first occurrence).
+        Retuning (:meth:`repro.ivm.rebalance.MaintenanceDriver.retune`)
+        drops the indexes so the strict repartition that follows seeds the
+        light parts — and through them every view — in exactly the order a
+        newly loaded engine would produce.
+        """
+        self._indexes.clear()
+
     # ------------------------------------------------------------------
     # algebra helpers used throughout the engine
     # ------------------------------------------------------------------

@@ -71,6 +71,7 @@ class ResultEnumerator:
         plan: SkewAwarePlan,
         query: ConjunctiveQuery,
         validator: Optional[Callable[[], None]] = None,
+        telemetry=None,
     ) -> None:
         self.plan = plan
         self.query = query
@@ -79,6 +80,11 @@ class ResultEnumerator:
         # check that raises StaleStateError once load() has replaced the
         # state this enumerator walks (mid-iteration included).
         self._validator = validator
+        # Optional repro.adaptive.WorkloadTelemetry: each iteration records
+        # how many tuples it produced and how long it ran — partial reads
+        # included, via the generator's finalization — so the adaptive ε
+        # controller sees real enumeration costs.
+        self._telemetry = telemetry
         self._components = [
             _ComponentEnumerator(trees, self.head) for trees in plan.component_trees
         ]
@@ -86,7 +92,9 @@ class ResultEnumerator:
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
-        return self._iterate()
+        if self._telemetry is None:
+            return self._iterate()
+        return self._telemetry.recorded_read(self._iterate())
 
     def _check_valid(self) -> None:
         if self._validator is not None:

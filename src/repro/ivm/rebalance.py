@@ -25,6 +25,7 @@ needs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -47,6 +48,7 @@ class RebalanceStats:
     major_rebalances: int = 0
     moved_to_light: int = 0
     moved_to_heavy: int = 0
+    retunes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -56,6 +58,7 @@ class RebalanceStats:
             "major_rebalances": self.major_rebalances,
             "moved_to_light": self.moved_to_light,
             "moved_to_heavy": self.moved_to_heavy,
+            "retunes": self.retunes,
         }
 
     def add(self, other: "RebalanceStats") -> "RebalanceStats":
@@ -72,6 +75,7 @@ class RebalanceStats:
         self.major_rebalances += other.major_rebalances
         self.moved_to_light += other.moved_to_light
         self.moved_to_heavy += other.moved_to_heavy
+        self.retunes += other.retunes
         return self
 
     @classmethod
@@ -97,6 +101,7 @@ class MaintenanceDriver:
         database: Database,
         epsilon: float,
         enable_rebalancing: bool = True,
+        telemetry=None,
     ) -> None:
         self.plan = plan
         self.database = database
@@ -105,12 +110,21 @@ class MaintenanceDriver:
         self.processor = UpdateProcessor(plan, database)
         self.batch_processor = BatchUpdateProcessor(plan, database, self.processor)
         self.stats = RebalanceStats()
+        # Optional repro.adaptive.WorkloadTelemetry: when present, every
+        # ingestion event records its source-update count and wall-clock
+        # cost, feeding the adaptive ε controller.
+        self.telemetry = telemetry
         # Monotonically increasing engine version: one tick per ingestion
-        # event (a single-tuple update or a consolidated batch).  Snapshots
-        # (repro.snapshot) are stamped with this counter, so "the engine at
-        # version v" means "after the first v ingestion events".
+        # event (a single-tuple update, a consolidated batch, or a retune).
+        # Snapshots (repro.snapshot) are stamped with this counter, so "the
+        # engine at version v" means "after the first v ingestion events".
         self.version = 0
-        # Definition 51: the initial threshold base is 2N + 1.
+        # Definition 51: the initial threshold base is 2N + 1.  This field
+        # is the single source of truth for threshold derivation — every
+        # code path that needs the heavy/light threshold must read
+        # :attr:`threshold` (or this base) rather than recomputing a power
+        # of the live database size, which silently drifts from the
+        # Definition 51 invariant between rebalances.
         self.threshold_base = 2 * database.size + 1
 
     # ------------------------------------------------------------------
@@ -124,8 +138,48 @@ class MaintenanceDriver:
         return (self.threshold_base // 4) <= size < self.threshold_base
 
     # ------------------------------------------------------------------
+    def retune(self, epsilon: float) -> None:
+        """Switch the live trade-off knob to ``epsilon`` (one major rebalance).
+
+        Re-anchors the threshold base at ``M = 2N + 1`` — exactly what a
+        fresh :meth:`~repro.core.api.HierarchicalEngine.load` at the current
+        database would choose — drops the base relations' secondary indexes
+        (so index iteration order, which seeds the light parts and view
+        contents, matches a fresh build instead of reflecting pre-retune
+        churn), strictly repartitions every partition at the new ``M^ε``,
+        and recomputes every view.  The result: a retuned engine is
+        indistinguishable — result *and* enumeration order — from a new
+        engine constructed at ``epsilon`` over the current database.  Open
+        snapshots keep reading their capture-time state through the
+        copy-on-write tracker, exactly as across any major rebalance.
+
+        Counted in ``stats.retunes`` (not in ``major_rebalances``, which
+        tracks size-invariant-triggered rebuilds) and ticks the version so
+        snapshot stamps order retunes with the ingestion events around them.
+        Works with ``enable_rebalancing=False`` too — the new base simply
+        stays put afterwards.
+        """
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self.epsilon = epsilon
+        self.threshold_base = 2 * self.database.size + 1
+        self.stats.retunes += 1
+        self.version += 1
+        for relation in self.database:
+            relation.invalidate_indexes()
+        materialize_plan(self.plan, self.threshold)
+
+    # ------------------------------------------------------------------
     def on_update(self, update: Update) -> None:
         """Process one update and rebalance if necessary (Figure 22)."""
+        if self.telemetry is None:
+            self._ingest_update(update)
+            return
+        started = time.perf_counter()
+        self._ingest_update(update)
+        self.telemetry.record_update(1, time.perf_counter() - started)
+
+    def _ingest_update(self, update: Update) -> None:
         self.processor.apply_update(update)
         self.stats.updates += 1
         self.version += 1
@@ -162,6 +216,16 @@ class MaintenanceDriver:
         the batch processor skips its own redundant pass.
         """
         batch = as_batch(batch)
+        if self.telemetry is None:
+            self._ingest_batch(batch, validated)
+            return
+        started = time.perf_counter()
+        self._ingest_batch(batch, validated)
+        self.telemetry.record_update(
+            batch.source_count, time.perf_counter() - started
+        )
+
+    def _ingest_batch(self, batch: UpdateBatch, validated: bool) -> None:
         self.batch_processor.apply_batch(batch, validated=validated)
         self.stats.updates += batch.source_count
         self.stats.batches += 1

@@ -38,8 +38,10 @@ single engine's native enumeration order for the canonical one; see
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.adaptive.telemetry import WorkloadTelemetry
 from repro.core.planner import QueryPlan, coerce_query, plan_query
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
@@ -66,7 +68,17 @@ class ShardMergeEnumerator:
 
     def __iter__(self) -> Iterator[Tuple[ValueTuple, int]]:
         self._engine._check_generation(self._generation)
-        return merge_shards(self._engine._sorted_shard_results())
+        # Facade-level read telemetry: the clock covers the per-shard
+        # enumeration broadcast AND the k-way merge, partial (page) reads
+        # included.  Like ResultEnumerator, the shard work is deferred to
+        # the first next() of the generator.
+        telemetry = self._engine.telemetry
+        if telemetry is None:
+            return self._merged()
+        return telemetry.recorded_read(self._merged())
+
+    def _merged(self) -> Iterator[Tuple[ValueTuple, int]]:
+        yield from merge_shards(self._engine._sorted_shard_results())
 
     def to_dict(self) -> Dict[ValueTuple, int]:
         """Materialize the merged enumeration into ``{tuple: multiplicity}``."""
@@ -182,6 +194,7 @@ class ShardedEngine:
         enable_rebalancing: bool = True,
         executor: str = "auto",
         shard_key: Optional[str] = None,
+        telemetry: Union[WorkloadTelemetry, bool, None] = None,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"shard count must be positive, got {shards}")
@@ -201,6 +214,16 @@ class ShardedEngine:
         self.mode = mode
         self.enable_rebalancing = enable_rebalancing
         self.executor_choice = executor
+        # Facade-level workload telemetry: ingestion and merged-enumeration
+        # events are recorded here (per-shard engines keep their own), so
+        # an AdaptiveController can drive the whole deployment.  Pass
+        # ``telemetry=False`` to opt out, as on HierarchicalEngine.
+        if telemetry is False:
+            self.telemetry: Optional[WorkloadTelemetry] = None
+        elif telemetry is None or telemetry is True:
+            self.telemetry = WorkloadTelemetry()
+        else:
+            self.telemetry = telemetry
         # the shard-aware planner gate: raises for unshardable queries
         self.router = ShardRouter(self.query, shards, shard_key)
         self.shard_key = self.router.shard_key
@@ -305,12 +328,15 @@ class ShardedEngine:
     def apply(self, update: Update) -> None:
         """Route one update to its shard and apply it there."""
         executor = self._require_loaded()
+        started = time.perf_counter() if self.telemetry is not None else 0.0
         executor.call(
             self.router.shard_of_update(update),
             "update",
             (update.relation, update.tuple, update.multiplicity),
         )
         self._version += 1
+        if self.telemetry is not None:
+            self.telemetry.record_update(1, time.perf_counter() - started)
 
     apply_update = apply
 
@@ -331,12 +357,16 @@ class ShardedEngine:
         shard modified.
         """
         executor = self._require_loaded()
+        started = time.perf_counter() if self.telemetry is not None else 0.0
         if isinstance(updates, UpdateBatch):
             sub_batches = self.router.split_batch(updates)
         else:
             sub_batches = self.router.split_updates(updates)
+        source_count = sum(batch.source_count for batch in sub_batches.values())
         if not sub_batches:
             self._version += 1
+            if self.telemetry is not None:
+                self.telemetry.record_update(0, time.perf_counter() - started)
             return
         pre_validated = len(sub_batches) > 1
         if pre_validated:
@@ -350,6 +380,10 @@ class ShardedEngine:
             }
         )
         self._version += 1
+        if self.telemetry is not None:
+            self.telemetry.record_update(
+                source_count, time.perf_counter() - started
+            )
 
     def apply_stream(
         self, updates: Iterable[Update], batch_size: Optional[int] = None
@@ -437,6 +471,27 @@ class ShardedEngine:
             replies[shard][1] for shard in range(executor.shard_count)
         )
         return ShardedSnapshot(self, snapshot_ids, shard_versions, self._version)
+
+    # ------------------------------------------------------------------
+    # adaptive retuning
+    # ------------------------------------------------------------------
+    def retune(self, epsilon: float) -> None:
+        """Switch every shard to a new ε in one executor round.
+
+        Each shard runs its own shard-local
+        :meth:`~repro.core.api.HierarchicalEngine.retune` — re-anchored
+        threshold base, strict repartition, view recompute — so the merged
+        enumeration afterwards equals a fresh sharded deployment built at
+        ``epsilon`` over the current data.  The facade version ticks once;
+        open sharded snapshots keep serving their capture-time state
+        through the shard-local copy-on-write trackers.
+        """
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        executor = self._require_loaded()
+        executor.broadcast("retune", epsilon)
+        self.epsilon = epsilon
+        self._version += 1
 
     # ------------------------------------------------------------------
     # introspection and invariants

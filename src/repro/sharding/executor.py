@@ -3,7 +3,8 @@
 The sharded engine talks to its shards through a tiny command set —
 ``load``, ``update``, ``batch``, ``result``, ``enumerate`` (sorted),
 ``check`` (engine invariants + placement), ``stats``, ``view_size``,
-``size``, ``threshold``, ``version``, plus the snapshot quartet
+``size``, ``threshold``, ``retune`` (shard-local ε switch), ``version``,
+plus the snapshot quartet
 ``snapshot`` / ``snap_enumerate`` / ``snap_lookup`` / ``snap_release``
 (shard-local :class:`repro.snapshot.Snapshot` handles held in a per-worker
 registry and addressed by integer id, so they work identically in-process
@@ -128,6 +129,12 @@ class _ShardServer:
             entry = self._snapshots.pop(payload, None)
             if entry is not None:
                 entry[0].close()
+            return None
+        if command == "retune":
+            # the facade's live ε switch: every shard re-anchors its own
+            # threshold base and strictly rematerializes, exactly like a
+            # shard-local HierarchicalEngine.retune
+            self.engine.retune(payload)
             return None
         if command == "version":
             return self.engine.version

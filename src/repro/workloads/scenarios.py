@@ -29,7 +29,12 @@ rather than synthetic benchmarks:
   workload behind ``benchmarks/bench_sharded_scaling.py``);
 * **skewed_shard** — Zipf-skewed shard keys: one shard ends up holding most
   of the data and absorbing most of the traffic, the load-imbalance worst
-  case for :mod:`repro.sharding`.
+  case for :mod:`repro.sharding`;
+* **phase_shift** — alternating write bursts and read-heavy serving phases
+  over hot join keys, so *every* fixed ε loses on some phase — the workload
+  behind ``benchmarks/bench_adaptive.py`` and :mod:`repro.adaptive`;
+* **read_burst** — a single regime change: a long write burst followed by
+  read-only serving, the simplest case for adaptive ε retuning.
 
 Every scenario is also registered in the :data:`SCENARIOS` matrix (a
 name → :class:`Scenario` registry, extended by
@@ -553,6 +558,175 @@ def skewed_shard_stream(
 
 
 # ----------------------------------------------------------------------
+# phase_shift / read_burst: mixed read/write traffic for adaptive ε
+# ----------------------------------------------------------------------
+PHASE_SHIFT_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+"""The path query under phase-alternating read/write traffic."""
+
+PHASE_SHIFT_KEY_BASE = 7_000_000
+"""Join values at or above this base are the phase-shift hot keys."""
+
+
+def phase_shift_database(
+    size: int = 1200,
+    hot_keys: int = 8,
+    hot_degree_fraction: float = 0.7,
+    filler_domain: int = 100,
+    value_domain: int = 100_000,
+    seed: int = 0,
+) -> Database:
+    """A path database that makes every fixed ε lose on some phase.
+
+    ``size`` filler tuples per relation draw their join value from a
+    bounded ``filler_domain`` (so the all-heavy ε = 0 regime stays well
+    inside recursion limits), topped up with ``hot_keys`` join values of
+    degree ``d ≈ hot_degree_fraction · √M`` in both relations (fixed-point
+    solved, ``M = 2N + 1``).  At every ε ≥ 0.5 the hot keys classify
+    *light*, so each update on them pays ``O(d)`` propagation into the
+    materialized join views — writes want ε = 0, where all keys are heavy
+    and updates cost ``O(1)``.  Enumeration is the mirror image: the ε = 0
+    heavy regime pays per-tuple lookups through every heavy key while
+    large ε enumerates straight off the views — reads want ε = 1.  A
+    workload that alternates write bursts with read-heavy serving phases
+    therefore has no good fixed ε, which is exactly what
+    ``benchmarks/bench_adaptive.py`` exploits.
+    """
+    rng = random.Random(seed)
+    r = [
+        (rng.randrange(value_domain), 1_000_000 + rng.randrange(filler_domain))
+        for _ in range(size)
+    ]
+    s = [
+        (1_000_000 + rng.randrange(filler_domain), rng.randrange(value_domain))
+        for _ in range(size)
+    ]
+    total = 2 * size
+    degree = 2
+    for _ in range(6):
+        degree = max(2, int(hot_degree_fraction * (2 * total + 1) ** 0.5))
+        total = 2 * size + 2 * hot_keys * degree
+    for key in range(PHASE_SHIFT_KEY_BASE, PHASE_SHIFT_KEY_BASE + hot_keys):
+        for _ in range(degree):
+            r.append((rng.randrange(value_domain), key))
+            s.append((key, rng.randrange(value_domain)))
+    return Database.from_dict({"R": (("A", "B"), r), "S": (("B", "C"), s)})
+
+
+def phase_shift_key_count(database: Database) -> int:
+    """How many hot keys (ids at/above the reserved base) the database holds."""
+    seen = {
+        tup[0]
+        for tup, _mult in database.relation("S").items()
+        if tup[0] >= PHASE_SHIFT_KEY_BASE
+    }
+    return max(1, len(seen))
+
+
+def phase_shift_write_stream(
+    count: int,
+    hot_keys: int = 8,
+    delete_fraction: float = 0.5,
+    value_domain: int = 100_000,
+    seed: int = 23,
+) -> UpdateStream:
+    """Insert/delete churn concentrated on the phase-shift hot keys.
+
+    Near-zero net drift keeps the hot degrees in the light band for every
+    ε ≥ 0.5 — each event stays ``O(degree)`` there and ``O(1)`` at ε = 0 —
+    so the write-phase cost gap between small and large ε persists for the
+    whole stream.
+    """
+    rng = random.Random(seed)
+    updates: List[Update] = []
+    live: List[Update] = []
+    for _ in range(count):
+        if live and rng.random() < delete_fraction:
+            updates.append(live.pop(rng.randrange(len(live))).inverted())
+            continue
+        key = PHASE_SHIFT_KEY_BASE + rng.randrange(hot_keys)
+        update = Update("R", (rng.randrange(value_domain), key), 1)
+        updates.append(update)
+        live.append(update)
+    return UpdateStream(updates)
+
+
+OpEvent = Tuple[str, object]
+"""One mixed-workload event: ``("write", Update)`` or ``("read", limit)``."""
+
+
+def phase_shift_ops(
+    database: Database,
+    phases: int = 4,
+    writes_per_phase: int = 3000,
+    reads_per_phase: int = 25,
+    trickle_writes: int = 20,
+    read_limit: int = 200,
+    seed: int = 31,
+) -> List[OpEvent]:
+    """The phase-shift op sequence: alternating write and read phases.
+
+    Odd phases are write bursts (``writes_per_phase`` hot-key updates, no
+    reads); even phases are read-heavy serving (``reads_per_phase`` page
+    reads of ``read_limit`` tuples each, with ``trickle_writes`` updates
+    sprinkled in so the engine is never fully quiescent).  A ``("read",
+    limit)`` event means "enumerate the first ``limit`` result tuples" —
+    the paper's constant-delay page-read model, matching
+    :meth:`repro.core.serving.EngineServer.read`.
+    """
+    hot = phase_shift_key_count(database)
+    ops: List[OpEvent] = []
+    for phase in range(phases):
+        if phase % 2 == 0:
+            stream = phase_shift_write_stream(
+                writes_per_phase, hot_keys=hot, seed=seed + 13 * phase
+            )
+            ops.extend(("write", update) for update in stream)
+        else:
+            stream = list(
+                phase_shift_write_stream(
+                    trickle_writes, hot_keys=hot, seed=seed + 13 * phase
+                )
+            )
+            # interleave the trickle writes at random positions among the
+            # reads WITHOUT permuting the writes themselves — a delete must
+            # never overtake the insert it cancels
+            rng = random.Random(seed + 7 * phase)
+            slots: List[str] = ["read"] * reads_per_phase
+            for _ in stream:
+                slots.insert(rng.randrange(len(slots) + 1), "write")
+            writes_in_order = iter(stream)
+            ops.extend(
+                ("write", next(writes_in_order))
+                if slot == "write"
+                else ("read", read_limit)
+                for slot in slots
+            )
+    return ops
+
+
+def read_burst_ops(
+    database: Database,
+    writes: int = 2000,
+    reads: int = 60,
+    read_limit: int = 300,
+    seed: int = 37,
+) -> List[OpEvent]:
+    """A single regime change: one long write burst, then a pure read burst.
+
+    The simplest adaptive story — an engine tuned for ingestion must notice
+    that traffic turned read-only and pay one retune instead of serving
+    every read through the slow regime.
+    """
+    hot = phase_shift_key_count(database)
+    ops: List[OpEvent] = [
+        ("write", update)
+        for update in phase_shift_write_stream(writes, hot_keys=hot, seed=seed)
+    ]
+    ops.extend([("read", read_limit)] * reads)
+    return ops
+
+
+# ----------------------------------------------------------------------
 # the scenario matrix
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -707,6 +881,36 @@ register_scenario(
         ),
         make_stream=lambda database, count, seed: skewed_shard_stream(
             count, seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="phase_shift",
+        query=PHASE_SHIFT_QUERY,
+        description="alternating write bursts and read-heavy phases (adaptive ε)",
+        make_database=lambda seed, scale: phase_shift_database(
+            size=_scaled(1200, scale), seed=seed
+        ),
+        # the matrix interface carries the write traffic; the read phases
+        # live in phase_shift_ops, consumed by benchmarks/bench_adaptive.py
+        make_stream=lambda database, count, seed: phase_shift_write_stream(
+            count, hot_keys=phase_shift_key_count(database), seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="read_burst",
+        query=PHASE_SHIFT_QUERY,
+        description="one regime change: a write burst, then read-only serving",
+        make_database=lambda seed, scale: phase_shift_database(
+            size=_scaled(1200, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: phase_shift_write_stream(
+            count, hot_keys=phase_shift_key_count(database), seed=seed
         ),
     )
 )

@@ -1,12 +1,14 @@
 """Benchmark gate: re-run the asserted throughput claims so they cannot rot.
 
-Three benchmark modules assert headline performance ratios and record their
+Four benchmark modules assert headline performance ratios and record their
 tables under ``benchmarks/results/``:
 
 * ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
 * ``bench_sharded_scaling``    — 4 shards ≥ 2× 1 shard on ``hot_shard``;
 * ``bench_concurrent_serving`` — 4 snapshot readers ≥ 2× the serialized
-  read-after-write loop.
+  read-after-write loop;
+* ``bench_adaptive``           — adaptive ε ≥ 2× the worst fixed ε and
+  within 20% of the best fixed ε on ``phase_shift``.
 
 Committed result files are claims about the code, and nothing in the unit
 suite re-checks them.  This gate replays the benchmark assertions::
@@ -34,6 +36,7 @@ GATED_BENCHMARKS = (
     "benchmarks/bench_batch_updates.py",
     "benchmarks/bench_sharded_scaling.py",
     "benchmarks/bench_concurrent_serving.py",
+    "benchmarks/bench_adaptive.py",
 )
 
 SMOKE_SCALE = "0.2"

@@ -29,7 +29,11 @@ version — re-checking the previous checkpoint's snapshot after further
 segments mutate the engine — and the ``snapshot-isolation`` metamorphic
 property asserts snapshot == fresh-replay-to-version for the single engine
 and the sharded facade at shard counts {1, 2, 4}, so shrunk repros replay
-snapshot reads too.
+snapshot reads too.  Live ε switching is fuzzed from two sides: every
+differential run retunes its dynamic engines at one case-deterministic
+checkpoint, and the ``retune-equivalence`` metamorphic property asserts
+retune(ε₂) == fresh-engine-at-ε₂ (order included) at shard counts
+{1, 2, 4}.
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ from repro.conformance import (  # noqa: E402 - sys.path bootstrap above
     check_insert_delete_noop,
     check_partition_union,
     check_query_conformance,
+    check_retune_equivalence,
     check_shard_merge,
     check_snapshot_isolation,
     load_case,
@@ -73,7 +78,10 @@ METAMORPHIC_PROPERTIES = (
     "partition-union",
     "shard-merge",
     "snapshot-isolation",
+    "retune-equivalence",
 )
+
+RETUNE_TARGETS = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 
 def _random_profile(rng: random.Random) -> DataProfile:
@@ -154,6 +162,13 @@ def metamorphic_failure(case: ConformanceCase, prop: str):
             check_shard_merge(case.query, epsilon, database, updates)
         elif prop == "snapshot-isolation":
             check_snapshot_isolation(case.query, epsilon, database, updates)
+        elif prop == "retune-equivalence":
+            # the retune target is case-derived so a repro file replays the
+            # same epsilon pair without carrying extra state
+            target = RETUNE_TARGETS[
+                (len(case.updates) + int(4 * epsilon)) % len(RETUNE_TARGETS)
+            ]
+            check_retune_equivalence(case.query, epsilon, target, database, updates)
     except AssertionError as exc:
         return Mismatch(
             engine=f"ivm(eps={epsilon})",
