@@ -23,11 +23,14 @@ test:
 coverage:
 	$(PY) tools/coverage_gate.py
 
-## Differential conformance fuzzing, seeded and time-boxed (~30s).  The case
+## Differential conformance fuzzing, seeded and time-boxed.  The case
 ## sequence is deterministic for a given seed; failures are shrunk and
-## written to ./fuzz-failures/ as replayable JSON repros.
+## written to ./fuzz-failures/ as replayable JSON repros.  The second pass
+## is a dedicated kill-mid-batch budget: every case crashes a durable
+## engine at a fault-injection point, recovers, resumes, and diffs.
 fuzz-smoke:
 	$(PY) tools/fuzz.py --seed 0 --budget 30
+	$(PY) tools/fuzz.py --seed 0 --budget 15 --mode crash-recovery
 
 ## Quick benchmark sanity pass: the batched-ingestion benchmark at 1/5 scale.
 bench-smoke:

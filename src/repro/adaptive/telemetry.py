@@ -134,6 +134,46 @@ class WorkloadTelemetry:
             return 0.5
         return self.ewma_read_fraction
 
+    def state_dict(self) -> Dict[str, object]:
+        """Exact, restorable state (unlike :meth:`as_dict`, which rounds).
+
+        The ``None`` EWMA seeds are preserved as ``None`` — restoring
+        them as ``0.0`` would poison the first smoothed value after a
+        recovery.  Used by the durability layer to carry telemetry across
+        a checkpoint/restart cycle.
+        """
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "update_events": self.update_events,
+                "update_tuples": self.update_tuples,
+                "update_seconds": self.update_seconds,
+                "read_events": self.read_events,
+                "read_tuples": self.read_tuples,
+                "read_seconds": self.read_seconds,
+                "ewma_update_seconds": self.ewma_update_seconds,
+                "ewma_read_seconds": self.ewma_read_seconds,
+                "ewma_read_fraction": self.ewma_read_fraction,
+            }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Overwrite every counter and EWMA from a :meth:`state_dict` dump."""
+        with self._lock:
+            self.alpha = float(state["alpha"])
+            self.update_events = int(state["update_events"])
+            self.update_tuples = int(state["update_tuples"])
+            self.update_seconds = float(state["update_seconds"])
+            self.read_events = int(state["read_events"])
+            self.read_tuples = int(state["read_tuples"])
+            self.read_seconds = float(state["read_seconds"])
+            for name in (
+                "ewma_update_seconds",
+                "ewma_read_seconds",
+                "ewma_read_fraction",
+            ):
+                value = state[name]
+                setattr(self, name, None if value is None else float(value))
+
     def as_dict(self) -> Dict[str, float]:
         """Flat summary (reported by benchmarks and the serving layer)."""
         return {

@@ -16,7 +16,10 @@ every ε.  This package turns that claim into an executable oracle:
   :class:`~repro.core.api.HierarchicalEngine` across an ε grid — single-tuple
   and batched paths — plus all four baselines, and diffs full results, result
   deltas, enumeration invariants, and internal structure invariants at every
-  checkpoint;
+  checkpoint; its kill-mid-batch mode (:func:`run_crash_recovery_case`)
+  crashes a *durable* engine at a case-deterministic fault-injection point,
+  recovers it from checkpoint + WAL, replays the rest of the workload, and
+  diffs the outcome against the naive oracle and a never-crashed twin;
 * :mod:`repro.conformance.metamorphic` states the metamorphic properties
   (insert-then-delete is a no-op, permuting a consolidated batch is
   result-invariant, a partitioned stream equals the whole, shard-merged
@@ -50,7 +53,10 @@ from repro.conformance.runner import (
     ConformanceReport,
     Mismatch,
     case_failure,
+    count_crash_sites,
+    crash_recovery_failure,
     run_case,
+    run_crash_recovery_case,
 )
 from repro.conformance.shrink import load_case, shrink_case, write_repro
 
@@ -69,7 +75,10 @@ __all__ = [
     "check_retune_equivalence",
     "check_shard_merge",
     "check_snapshot_isolation",
+    "count_crash_sites",
+    "crash_recovery_failure",
     "load_case",
+    "run_crash_recovery_case",
     "random_database",
     "random_labeled_query",
     "random_nonhierarchical_query",

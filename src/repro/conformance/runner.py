@@ -45,8 +45,11 @@ against each other with the naive engine as oracle.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.first_order_ivm import FirstOrderIVMEngine
@@ -58,7 +61,20 @@ from repro.core.planner import is_shardable
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateStream
-from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.durability import (
+    CrashPointInjector,
+    DurabilityConfig,
+    SimulatedCrashError,
+    injected,
+    recover_engine,
+)
+from repro.durability.checkpoint import find_checkpoints
+from repro.exceptions import (
+    DurabilityError,
+    RejectedUpdateError,
+    ReproError,
+    UnsupportedQueryError,
+)
 from repro.query.classes import classify
 from repro.query.hypergraph import is_free_connex
 from repro.query.parser import parse_query
@@ -549,6 +565,368 @@ def case_failure(case: ConformanceCase) -> Optional[Mismatch]:
     except Exception as exc:  # noqa: BLE001 - any crash is a finding
         return Mismatch(
             engine="(run)", checkpoint=-1, kind="crash", detail=f"{type(exc).__name__}: {exc}"
+        )
+    if report.mismatches:
+        return report.mismatches[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# kill-mid-batch: differential crash recovery
+# ---------------------------------------------------------------------------
+#
+# The durable engine's claim is stronger than "no data loss": after a crash
+# at *any* instrumented point (WAL append, the torn half-write window, the
+# fsync gap, checkpoint write/fsync/rename, checkpoint cleanup), recovering
+# and replaying the not-yet-durable remainder of the workload must be
+# indistinguishable — result, version, AND enumeration order — from an
+# engine that never crashed.  ``run_crash_recovery_case`` turns one
+# ConformanceCase into that experiment: a case-deterministic crash point is
+# armed, the workload runs until the simulated kill, the engine is recovered
+# from disk, the remaining events (chosen by durable version, exactly like a
+# client resuming from acknowledgements) are replayed, and the final state
+# is diffed against the naive oracle and a never-crashed durable twin.
+
+
+def _recovery_plan(
+    case: ConformanceCase,
+) -> Tuple[int, List[Tuple[str, object]], int, float, bool]:
+    """Derive the deterministic crash experiment encoded by a case.
+
+    Returns ``(digest, events, checkpoint_interval, epsilon, batched)``.
+    Every *event* — one update, one consolidated segment batch, or the
+    mid-case retune — ticks the durable version at most once, so the
+    recovered engine's version identifies exactly which events still need
+    replaying.  All knobs derive from the case's JSON digest, so a shrunk
+    repro file replays the same crash without carrying extra state.
+    """
+    digest = zlib.crc32(case.to_json().encode("utf-8"))
+    segments = case.segments()
+    batched = bool(digest & 1)
+    interval = 1 + digest % 5
+    epsilon = case.epsilons[len(case.epsilons) // 2] if case.epsilons else 0.5
+    retune_checkpoint = 1 + digest % len(segments) if segments else None
+    target = RETUNE_EPSILONS[digest % len(RETUNE_EPSILONS)]
+    events: List[Tuple[str, object]] = []
+    for number, segment in enumerate(segments, start=1):
+        if batched:
+            events.append(("batch", segment))
+        else:
+            events.extend(("update", update) for update in segment)
+        if number == retune_checkpoint:
+            events.append(("retune", target))
+    return digest, events, interval, epsilon, batched
+
+
+def _apply_event(engine, event: Tuple[str, object]) -> bool:
+    """Apply one plan event; a deterministically rejected event is skipped.
+
+    Rejections (an over-delete the stream made invalid) depend only on the
+    engine's state, which the crash run, the oracle run, and the post-
+    recovery replay all share at the corresponding version — so "skipped"
+    is itself replayed faithfully.  Returns whether the event was accepted.
+    """
+    kind, payload = event
+    try:
+        if kind == "update":
+            engine.apply(payload)
+        elif kind == "batch":
+            engine.apply_batch(list(payload))
+        else:
+            engine.retune(payload)
+    except RejectedUpdateError:
+        return False
+    return True
+
+
+def count_crash_sites(case: ConformanceCase) -> int:
+    """Number of crash-point hits in one clean durable run of ``case``.
+
+    This is the size of the kill-anywhere sweep: arming the k-th hit for
+    every ``1 <= k <= count_crash_sites(case)`` crashes the workload at
+    every instrumented durability operation it performs.
+    """
+    _digest, events, interval, epsilon, _batched = _recovery_plan(case)
+    recorder = CrashPointInjector(None)
+    tmp = Path(tempfile.mkdtemp(prefix="repro-crash-probe-"))
+    try:
+        with injected(recorder):
+            engine = HierarchicalEngine(
+                case.query,
+                epsilon=epsilon,
+                durability=DurabilityConfig(
+                    str(tmp / "wal"), checkpoint_interval=interval
+                ),
+            )
+            engine.load(case.database())
+            for event in events:
+                _apply_event(engine, event)
+            engine.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return recorder.total_hits
+
+
+def run_crash_recovery_case(
+    case: ConformanceCase,
+    crash_hit: Optional[int] = None,
+    max_mismatches: int = 20,
+) -> ConformanceReport:
+    """Crash the case's durable workload, recover, resume, diff everything.
+
+    ``crash_hit`` arms the k-th crash-point hit (1-based); by default one
+    case-deterministic hit is chosen, so fuzzed cases cover the whole
+    matrix over time while each individual case replays identically.
+    Reported mismatch kinds all start with ``recovery``:
+
+    * ``recovery-unrecoverable`` — recovery itself failed although durable
+      state should exist;
+    * ``recovery-version`` — the resumed engine missed the oracle version;
+    * ``recovery-result`` — final result diverges from the naive oracle;
+    * ``recovery-order`` — result matches but the enumeration order differs
+      from the never-crashed durable twin (the PR-5 purity contract);
+    * ``recovery-invariant`` — the deep invariant probe failed after resume;
+    * ``recovery-oracle`` — the *clean* durable run already diverges from
+      the naive oracle (durability hooks corrupted normal ingestion).
+    """
+    query = parse_query(case.query)
+    supported = classify(query).hierarchical
+    if not supported:
+        # durability is a dynamic-engine feature; nothing to crash
+        return ConformanceReport(
+            query=case.query, supported=False, engines=(), checkpoints_run=0
+        )
+    mismatches: List[Mismatch] = []
+    digest, events, interval, epsilon, batched = _recovery_plan(case)
+    engine_name = (
+        f"durable(eps={epsilon},{'batch' if batched else 'seq'},interval={interval})"
+    )
+    tmp = Path(tempfile.mkdtemp(prefix="repro-crash-"))
+    try:
+        # -- ground truth: the naive oracle over the same event sequence
+        naive = NaiveRecomputeEngine(case.query).load(case.database())
+        for kind, payload in events:
+            try:
+                if kind == "update":
+                    naive.apply(payload)
+                elif kind == "batch":
+                    naive.apply_batch(list(payload))
+            except RejectedUpdateError:
+                pass
+        truth = dict(naive.result())
+
+        # -- the never-crashed durable twin: exact-order oracle AND the
+        #    event->version map used to resume after recovery.  A recorder
+        #    injector counts the crash sites the workload passes through.
+        oracle_config = DurabilityConfig(
+            str(tmp / "oracle"), checkpoint_interval=interval
+        )
+        recorder = CrashPointInjector(None)
+        with injected(recorder):
+            oracle = HierarchicalEngine(
+                case.query, epsilon=epsilon, durability=oracle_config
+            )
+            oracle.load(case.database())
+            post_versions: List[int] = []
+            for event in events:
+                _apply_event(oracle, event)
+                post_versions.append(oracle.version)
+        oracle_result = dict(oracle.result())
+        oracle_enum = list(oracle.enumerate())
+        oracle_version = oracle.version
+        oracle.close()
+        total_hits = recorder.total_hits
+        clean_diff = _diff(truth, oracle_result)
+        if clean_diff is not None:
+            mismatches.append(
+                Mismatch(engine_name, -1, "recovery-oracle", clean_diff)
+            )
+            return ConformanceReport(
+                query=case.query,
+                supported=True,
+                engines=(engine_name,),
+                checkpoints_run=len(events),
+                mismatches=mismatches,
+            )
+
+        # -- the durable-acknowledgement contract: a *cleanly closed*
+        #    directory must recover to exactly the acknowledged state.  The
+        #    kill paths below cannot see a silently dropped WAL record (the
+        #    resume loop re-sends anything non-durable, masking the loss),
+        #    but this check does: every acked version must be on disk.
+        try:
+            reopened, _report = recover_engine(
+                Path(oracle_config.directory), oracle_config
+            )
+        except DurabilityError as exc:
+            mismatches.append(
+                Mismatch(
+                    engine_name,
+                    -1,
+                    "recovery-durable-loss",
+                    f"cleanly closed directory failed to recover: {exc}",
+                )
+            )
+        else:
+            if reopened.version != oracle_version:
+                mismatches.append(
+                    Mismatch(
+                        engine_name,
+                        -1,
+                        "recovery-durable-loss",
+                        f"clean close acknowledged version {oracle_version} "
+                        f"but only {reopened.version} was durable",
+                    )
+                )
+            else:
+                reopened_diff = _diff(oracle_result, dict(reopened.result()))
+                if reopened_diff is not None:
+                    mismatches.append(
+                        Mismatch(
+                            engine_name,
+                            -1,
+                            "recovery-durable-loss",
+                            f"clean-close recovery result drifted: {reopened_diff}",
+                        )
+                    )
+                elif list(reopened.enumerate()) != oracle_enum:
+                    mismatches.append(
+                        Mismatch(
+                            engine_name,
+                            -1,
+                            "recovery-durable-loss",
+                            "clean-close recovery changed the enumeration order",
+                        )
+                    )
+            reopened.close()
+        if mismatches:
+            return ConformanceReport(
+                query=case.query,
+                supported=True,
+                engines=(engine_name,),
+                checkpoints_run=len(events),
+                mismatches=mismatches,
+            )
+
+        # -- crash run: arm the chosen hit and run until the simulated kill
+        hit = crash_hit if crash_hit is not None else 1 + digest % max(1, total_hits)
+        crash_dir = tmp / "crash"
+        crash_config = DurabilityConfig(str(crash_dir), checkpoint_interval=interval)
+        crashed_site: Optional[str] = None
+        with injected(CrashPointInjector("any", hits=hit)):
+            try:
+                engine = HierarchicalEngine(
+                    case.query, epsilon=epsilon, durability=crash_config
+                )
+                engine.load(case.database())
+                for event in events:
+                    _apply_event(engine, event)
+                engine.close()
+            except SimulatedCrashError as exc:
+                crashed_site = exc.site
+
+        # -- recover (or, for a crash that predates the first durable
+        #    checkpoint, restart from the source database like an operator
+        #    whose load never completed)
+        if crashed_site is None:
+            recovered, _report = recover_engine(crash_dir, crash_config)
+        else:
+            try:
+                recovered, _report = recover_engine(crash_dir, crash_config)
+            except DurabilityError as exc:
+                if find_checkpoints(crash_dir):
+                    mismatches.append(
+                        Mismatch(
+                            engine_name,
+                            -1,
+                            "recovery-unrecoverable",
+                            f"crash at {crashed_site!r} (hit {hit}) left "
+                            f"checkpoints on disk but recovery failed: {exc}",
+                        )
+                    )
+                    return ConformanceReport(
+                        query=case.query,
+                        supported=True,
+                        engines=(engine_name,),
+                        checkpoints_run=len(events),
+                        mismatches=mismatches,
+                    )
+                shutil.rmtree(crash_dir, ignore_errors=True)
+                recovered = HierarchicalEngine(
+                    case.query, epsilon=epsilon, durability=crash_config
+                )
+                recovered.load(case.database())
+
+        # -- resume: replay exactly the events past the durable version
+        durable_version = recovered.version
+        start = 0
+        while start < len(events) and post_versions[start] <= durable_version:
+            start += 1
+        for event in events[start:]:
+            _apply_event(recovered, event)
+
+        context = f"crash at {crashed_site!r} (hit {hit}/{total_hits})"
+        if recovered.version != oracle_version:
+            mismatches.append(
+                Mismatch(
+                    engine_name,
+                    -1,
+                    "recovery-version",
+                    f"{context}: resumed to version {recovered.version}, "
+                    f"oracle reached {oracle_version}",
+                )
+            )
+        result_diff = _diff(truth, dict(recovered.result()))
+        if result_diff is not None:
+            mismatches.append(
+                Mismatch(
+                    engine_name, -1, "recovery-result", f"{context}: {result_diff}"
+                )
+            )
+        elif list(recovered.enumerate()) != oracle_enum:
+            mismatches.append(
+                Mismatch(
+                    engine_name,
+                    -1,
+                    "recovery-order",
+                    f"{context}: result matches but the enumeration order "
+                    "diverges from the never-crashed durable engine",
+                )
+            )
+        try:
+            recovered.check_invariants()
+        except ReproError as exc:
+            mismatches.append(
+                Mismatch(engine_name, -1, "recovery-invariant", f"{context}: {exc}")
+            )
+        recovered.close()
+        return ConformanceReport(
+            query=case.query,
+            supported=True,
+            engines=(engine_name,),
+            checkpoints_run=len(events),
+            mismatches=mismatches[:max_mismatches],
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def crash_recovery_failure(
+    case: ConformanceCase, crash_hit: Optional[int] = None
+) -> Optional[Mismatch]:
+    """Run the crash-recovery mode and normalize any failure to a mismatch.
+
+    The shrinker's predicate for ``recovery*`` kinds: a crash anywhere in
+    the experiment itself (not a simulated one) is a finding too.
+    """
+    try:
+        report = run_crash_recovery_case(case, crash_hit=crash_hit)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return Mismatch(
+            engine="(crash-recovery)",
+            checkpoint=-1,
+            kind="recovery-crash",
+            detail=f"{type(exc).__name__}: {exc}",
         )
     if report.mismatches:
         return report.mismatches[0]

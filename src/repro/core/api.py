@@ -52,7 +52,8 @@ accepts them.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
@@ -60,12 +61,18 @@ from repro.data.update import Update, UpdateBatch, UpdateStream, as_batch, iter_
 from repro.engine.materialize import materialize_plan, total_view_size
 from repro.enumeration.result import ResultEnumerator
 from repro.exceptions import (
+    DurabilityError,
     InvariantViolationError,
     ReproError,
     UnsupportedQueryError,
 )
 from repro.exceptions import StaleStateError
 from repro.adaptive.telemetry import WorkloadTelemetry
+from repro.durability.manager import (
+    DurabilityConfig,
+    DurabilityManager,
+    coerce_config,
+)
 from repro.ivm.rebalance import MaintenanceDriver, RebalanceStats
 from repro.core.planner import (
     QueryPlan,
@@ -90,6 +97,7 @@ class HierarchicalEngine:
         enable_rebalancing: bool = True,
         copy_database: bool = True,
         telemetry: Union[WorkloadTelemetry, bool, None] = None,
+        durability: Union[DurabilityConfig, str, Path, None] = None,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError("epsilon must lie in [0, 1]")
@@ -124,6 +132,19 @@ class HierarchicalEngine:
         # reading the replaced state.
         self._generation = 0
         self._cow_tracker: Optional[CowTracker] = None
+        # Durability: a directory (or DurabilityConfig) makes every accepted
+        # update/batch/retune a fsynced WAL record and every Nth commit a
+        # checkpoint; HierarchicalEngine.recover() rebuilds the exact engine
+        # after a crash.  Dynamic mode only — static engines never mutate.
+        if durability is not None and mode != DYNAMIC_MODE:
+            raise DurabilityError(
+                "durability requires mode='dynamic'; a static engine has no "
+                "update stream to log"
+            )
+        self.durability: Optional[DurabilityConfig] = (
+            coerce_config(durability) if durability is not None else None
+        )
+        self._durability: Optional[DurabilityManager] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -268,7 +289,103 @@ class HierarchicalEngine:
             self._static_threshold_base = max(1.0, float(self._database.size))
         materialize_plan(self._skew_plan, self.threshold)
         self.preprocessing_seconds = time.perf_counter() - started
+        if self.durability is not None:
+            if self._durability is not None:
+                self._durability.close()
+            self._durability = DurabilityManager(self, self.durability)
+            self._durability.start_fresh()
         return self
+
+    def _restore_from_checkpoint(self, state: Dict[str, Any]) -> None:
+        """Rebuild this engine's loaded state from a checkpoint state dict.
+
+        The recovery counterpart of :meth:`load`: the database is rebuilt
+        in its serialized insertion order (which seeds index iteration
+        order and hence enumeration order), the driver's version,
+        Definition-51 threshold base, and counters are restored *before*
+        the views are materialized — materialization must run at the
+        restored threshold, not at the fresh ``2N + 1`` the driver's
+        constructor picks.  Only :mod:`repro.durability.recovery` calls
+        this.
+        """
+        database = Database()
+        for name, schema, rows in state["relations"]:
+            relation = database.create_relation(name, tuple(schema))
+            for tup, mult in rows:
+                relation.apply_delta(tuple(tup), int(mult))
+        self._generation += 1
+        self._cow_tracker = CowTracker()
+        self._database = database
+        started = time.perf_counter()
+        self._skew_plan = instantiate_plan(self.plan, self._database)
+        self._driver = MaintenanceDriver(
+            self._skew_plan,
+            self._database,
+            self.epsilon,
+            enable_rebalancing=self.enable_rebalancing,
+            telemetry=self.telemetry,
+        )
+        self._driver.version = int(state["version"])
+        self._driver.threshold_base = int(state["threshold_base"])
+        self._driver.stats = RebalanceStats.from_dict(state["stats"])
+        self._static_threshold_base = None
+        if self.telemetry is not None and state.get("telemetry"):
+            self.telemetry.restore_state(state["telemetry"])
+        materialize_plan(self._skew_plan, self.threshold)
+        self.preprocessing_seconds = time.perf_counter() - started
+
+    def _attach_durability(self, manager: DurabilityManager) -> None:
+        """Adopt a recovery-built manager as this engine's commit path."""
+        self._durability = manager
+        self.durability = manager.config
+
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path],
+        durability: Union[DurabilityConfig, str, Path, None] = None,
+    ) -> Tuple["HierarchicalEngine", "Any"]:
+        """Rebuild the durable engine persisted in ``directory``.
+
+        Loads the newest valid checkpoint, replays the WAL tail through
+        the normal ingestion paths (re-hitting the scheduled checkpoint
+        barriers at the same versions), verifies the final version, and
+        returns ``(engine, report)`` — the engine already appending to
+        the recovered WAL.  See :mod:`repro.durability.recovery`.
+        """
+        from repro.durability.recovery import recover_engine
+
+        return recover_engine(directory, durability)
+
+    def checkpoint(self) -> Path:
+        """Write a checkpoint now (also an index-normalization barrier).
+
+        Durable engines checkpoint automatically every
+        ``checkpoint_interval`` commits; this forces one between
+        schedule points — before a planned shutdown, say, so recovery
+        replays an empty tail.
+        """
+        self._require_dynamic()
+        if self._durability is None:
+            raise DurabilityError(
+                "this engine has no durability directory; pass durability=... "
+                "to the constructor"
+            )
+        return self._durability.checkpoint()
+
+    @property
+    def durability_stats(self):
+        """WAL/checkpoint counters, or ``None`` when not durable."""
+        return self._durability.stats if self._durability is not None else None
+
+    def close(self) -> None:
+        """Flush and close the durability manager, if any (idempotent).
+
+        The on-disk state stays recoverable; a closed engine can keep
+        serving reads but the next ``apply`` would raise.
+        """
+        if self._durability is not None:
+            self._durability.close()
 
     def _require_loaded(self) -> None:
         if self._skew_plan is None:
@@ -370,9 +487,18 @@ class HierarchicalEngine:
         self.update(relation, tup, -abs(multiplicity))
 
     def apply(self, update: Update) -> None:
-        """Apply one :class:`~repro.data.update.Update`."""
+        """Apply one :class:`~repro.data.update.Update`.
+
+        On a durable engine the update is ingested first, then committed
+        to the WAL (append + flush + fsync) before this call returns: the
+        log holds only *accepted* updates, so a rejected over-delete can
+        never poison a recovery replay.  A crash between ingest and
+        commit loses exactly the unacknowledged update.
+        """
         self._require_dynamic()
         self._driver.on_update(update)
+        if self._durability is not None:
+            self._durability.commit_update(update, self.version)
 
     def apply_batch(self, updates: Union[UpdateBatch, Iterable[Update]]) -> None:
         """Consolidate ``updates`` into one batch and ingest it in one pass.
@@ -385,9 +511,16 @@ class HierarchicalEngine:
         propagated through each affected view tree in a single grouped
         traversal, followed by one deferred rebalance check.  The resulting
         query result is identical to applying the same updates one by one.
+
+        On a durable engine the whole consolidated batch is one WAL
+        record (one fsync per batch — this is where WAL overhead
+        amortizes; see ``benchmarks/bench_durability.py``).
         """
         self._require_dynamic()
-        self._driver.on_batch(as_batch(updates))
+        batch = as_batch(updates)
+        self._driver.on_batch(batch)
+        if self._durability is not None:
+            self._durability.commit_batch(batch, self.version)
 
     def apply_stream(
         self, updates: Iterable[Update], batch_size: Optional[int] = None
@@ -446,6 +579,10 @@ class HierarchicalEngine:
         assert self._driver is not None
         self._driver.retune(epsilon)
         self.epsilon = epsilon
+        if self._durability is not None:
+            # ε is engine state: a replay that skipped the retune would
+            # rebuild different partitions than the engine that crashed.
+            self._durability.commit_retune(epsilon, self.version)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

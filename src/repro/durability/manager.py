@@ -1,0 +1,268 @@
+"""The durability manager: the commit path between an engine and its disk.
+
+:class:`DurabilityConfig` names a directory and a policy (fsync per
+commit or not, checkpoint every N commits, how many checkpoints to
+keep); :class:`DurabilityManager` attaches that policy to one loaded
+dynamic engine.  The engine calls ``commit_update`` / ``commit_batch`` /
+``commit_retune`` *after* its in-memory ingest succeeded — the WAL is a
+redo log of **accepted** events, so a rejected over-delete is never
+logged and can never poison a replay — and the commit returns only once
+the record is flushed (and, with ``fsync=True``, fsynced).
+
+Checkpoints double as **index-normalization barriers**.  Before
+serializing, the manager asks the maintenance driver to
+:meth:`~repro.ivm.rebalance.MaintenanceDriver.rematerialize`: secondary
+indexes are dropped and every view rebuilt at the current threshold.
+After that, the live state is a pure function of (base-relation
+insertion order, threshold base, ε) — exactly what the checkpoint file
+captures — so a recovery that rebuilds from the file and replays the WAL
+tail reproduces the live engine *byte for byte*, enumeration order
+included.  Without the barrier, churn-evolved index iteration order
+(invisible to any serialization of the base relations) would diverge
+from the rebuilt order, the failure mode the retune path had to solve
+first (see :meth:`MaintenanceDriver.retune`).
+
+Checkpoint schedule is version-keyed (``version - last_checkpoint ≥
+interval``), which makes the normalization points a deterministic
+function of the interval alone: a recovery that replays the WAL re-hits
+the same barriers at the same versions as the engine that never
+crashed — the property the kill-anywhere conformance harness asserts.
+
+This module never imports :mod:`repro.core.api` — the engine owns the
+manager, not the other way around; everything engine-shaped is
+duck-typed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.durability import checkpoint as ckpt
+from repro.durability import wal as walmod
+from repro.durability.crashpoints import crash_point
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how an engine persists itself.  Picklable (crosses pipes).
+
+    ``fsync=False`` trades the per-commit fsync for OS-buffered flushes:
+    an order of magnitude cheaper per tuple, but a crash may lose the
+    tail that the OS had not written back yet — see the "when fsync
+    batching loses" discussion in ``docs/architecture.md`` §12.
+    ``checkpoint_interval=None`` (or 0) disables scheduled checkpoints;
+    manual ``engine.checkpoint()`` calls still work.
+    """
+
+    directory: str
+    fsync: bool = True
+    checkpoint_interval: Optional[int] = 64
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "directory", str(self.directory))
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+
+    @property
+    def path(self) -> Path:
+        return Path(self.directory)
+
+    def for_shard(self, index: int) -> "DurabilityConfig":
+        """The same policy in a per-shard subdirectory ``shard-<index>``."""
+        return replace(self, directory=os.path.join(self.directory, f"shard-{index}"))
+
+
+def coerce_config(
+    durability: Union["DurabilityConfig", str, Path],
+) -> "DurabilityConfig":
+    """Accept a config, a directory string, or a :class:`~pathlib.Path`."""
+    if isinstance(durability, DurabilityConfig):
+        return durability
+    return DurabilityConfig(directory=str(durability))
+
+
+@dataclass
+class DurabilityStats:
+    """Counters describing durability activity (reported by benchmarks)."""
+
+    wal_records: int = 0
+    wal_bytes: int = 0
+    checkpoints_written: int = 0
+    last_checkpoint_version: int = 0
+    recovered_records: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "wal_records": self.wal_records,
+            "wal_bytes": self.wal_bytes,
+            "checkpoints_written": self.checkpoints_written,
+            "last_checkpoint_version": self.last_checkpoint_version,
+            "recovered_records": self.recovered_records,
+        }
+
+
+class DurabilityManager:
+    """Owns one engine's WAL writer, checkpoint schedule, and file rotation."""
+
+    def __init__(self, engine, config: DurabilityConfig) -> None:
+        self.engine = engine
+        self.config = coerce_config(config)
+        self.stats = DurabilityStats()
+        self.last_checkpoint_version = 0
+        self._wal: Optional[walmod.WalWriter] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_fresh(self) -> None:
+        """Begin a new durable history for a freshly loaded engine.
+
+        Wipes previous durability files in the directory (a re-``load``
+        replaces the engine's state wholesale, so the old history can
+        only mislead), writes the version-0 checkpoint, and opens the
+        first WAL segment.  No normalization barrier is needed: a just-
+        loaded engine's index order *is* the fresh-build order.
+        """
+        directory = self.config.path
+        directory.mkdir(parents=True, exist_ok=True)
+        for _, path in ckpt.find_checkpoints(directory):
+            path.unlink()
+        for _, path in walmod.wal_segments(directory):
+            path.unlink()
+        for stray in directory.glob("*.tmp"):
+            stray.unlink()
+        version = self.engine.version
+        ckpt.write_checkpoint(
+            directory, ckpt.engine_state(self.engine), fsync=self.config.fsync
+        )
+        self.last_checkpoint_version = version
+        self.stats.checkpoints_written += 1
+        self.stats.last_checkpoint_version = version
+        self._wal = walmod.WalWriter.create(
+            directory / walmod.wal_name(version), fsync=self.config.fsync
+        )
+
+    def adopt(self, last_checkpoint_version: int) -> None:
+        """Attach to an engine rebuilt by recovery (no writer yet).
+
+        Replay-mode checkpoints (scheduled barriers re-hit while the WAL
+        tail is replayed) write their files but never rotate or clean up
+        — the tail being replayed may still live in an old segment.
+        """
+        self.last_checkpoint_version = last_checkpoint_version
+        self.stats.last_checkpoint_version = last_checkpoint_version
+        self._wal = None
+
+    def resume_writer(self, segment_path: Optional[Path], valid_length: int) -> None:
+        """Reopen the active WAL segment after recovery finished replaying."""
+        directory = self.config.path
+        if segment_path is None or valid_length < len(walmod.WAL_MAGIC):
+            segment_path = directory / walmod.wal_name(self.engine.version)
+            self._wal = walmod.WalWriter.create(segment_path, fsync=self.config.fsync)
+        else:
+            self._wal = walmod.WalWriter.resume(
+                segment_path, valid_length, fsync=self.config.fsync
+            )
+        self._cleanup()
+
+    def close(self) -> None:
+        """Flush and close the WAL writer (the files remain recoverable)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    # ------------------------------------------------------------------
+    # the commit path
+    # ------------------------------------------------------------------
+    def commit_update(self, update, version: int) -> None:
+        """Make one accepted single-tuple update durable."""
+        self._commit(walmod.encode_update(version, update), version)
+
+    def commit_batch(self, batch, version: int) -> None:
+        """Make one accepted consolidated batch durable."""
+        self._commit(walmod.encode_batch(version, batch), version)
+
+    def commit_retune(self, epsilon: float, version: int) -> None:
+        """Make one retune durable (ε is engine state too)."""
+        self._commit(walmod.encode_retune(version, epsilon), version)
+
+    def _commit(self, payload: Dict[str, Any], version: int) -> None:
+        if self._wal is None:
+            raise ValueError("durability manager has no active WAL writer")
+        self._wal.append(payload)
+        self.stats.wal_records += 1
+        self.stats.wal_bytes = self._wal.bytes_written
+        self.maybe_checkpoint(version)
+
+    def maybe_checkpoint(self, version: int) -> None:
+        """Run the scheduled checkpoint if ``version`` crossed the interval."""
+        interval = self.config.checkpoint_interval
+        if not interval:
+            return
+        if version - self.last_checkpoint_version >= interval:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, normalize: bool = True) -> Path:
+        """Normalize, persist, rotate, and prune — the full barrier.
+
+        In replay mode (no writer) rotation and pruning are skipped; see
+        :meth:`adopt`.
+        """
+        engine = self.engine
+        if normalize:
+            engine._driver.rematerialize()
+        state = ckpt.engine_state(engine)
+        version = int(state["version"])
+        path = ckpt.write_checkpoint(self.config.path, state, fsync=self.config.fsync)
+        self.last_checkpoint_version = version
+        self.stats.checkpoints_written += 1
+        self.stats.last_checkpoint_version = version
+        if self._wal is not None:
+            self._rotate(version)
+            self._cleanup()
+        return path
+
+    def _rotate(self, version: int) -> None:
+        assert self._wal is not None
+        previous_bytes = self._wal.bytes_written
+        self._wal.close()
+        self._wal = walmod.WalWriter.create(
+            self.config.path / walmod.wal_name(version), fsync=self.config.fsync
+        )
+        self._wal.bytes_written = previous_bytes
+
+    def _cleanup(self) -> None:
+        """Prune checkpoints beyond the keep policy and retired WAL segments.
+
+        A segment is retired only when recovery from the *oldest kept*
+        checkpoint could never need it: all segments strictly before the
+        last segment whose start version is ≤ that checkpoint's version.
+        (The crash site here models a death between the rename and the
+        pruning — recovery tolerates the leftovers by construction.)
+        """
+        directory = self.config.path
+        checkpoints = ckpt.find_checkpoints(directory)
+        keep = checkpoints[-self.config.keep_checkpoints :]
+        for _, path in checkpoints[: -self.config.keep_checkpoints]:
+            crash_point("checkpoint-cleanup")
+            path.unlink()
+        if not keep:
+            return
+        oldest_kept = keep[0][0]
+        segments = walmod.wal_segments(directory)
+        last_covering = 0
+        for index, (start, _) in enumerate(segments):
+            if start <= oldest_kept:
+                last_covering = index
+        for start, path in segments[:last_covering]:
+            crash_point("checkpoint-cleanup")
+            path.unlink()
+        for stray in directory.glob("*.tmp"):
+            stray.unlink()

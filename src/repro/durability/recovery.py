@@ -1,0 +1,191 @@
+"""Crash recovery: newest valid checkpoint + WAL-tail replay, verified.
+
+:func:`recover_engine` rebuilds a :class:`~repro.core.api.HierarchicalEngine`
+from a durability directory:
+
+1. **Checkpoint** — load the newest checkpoint that passes its CRC
+   (corrupt crash residue falls back to the previous one), rebuild the
+   base relations in their serialized insertion order, restore the
+   driver's version / threshold base / counters / telemetry, and
+   materialize the views at the restored threshold.  Because every
+   checkpoint was written right after an index-normalization barrier,
+   this rebuild reproduces the live engine's post-barrier state exactly.
+2. **WAL tail** — scan the segments that can hold records past the
+   checkpoint (torn tails and corrupt records truncate the scan with a
+   logged warning) and replay each record through the engine's normal
+   ingestion paths.  Scheduled checkpoint barriers are *re-hit at the
+   same versions* during replay — normalization is part of the durable
+   state machine, so skipping it would make the recovered engine diverge
+   from the engine that never crashed.
+3. **Verify** — the replayed engine must land exactly on the last
+   durable record's version; anything else is a
+   :class:`~repro.exceptions.DurabilityError`, never a silent divergence.
+
+The function returns the engine with a live :class:`DurabilityManager`
+already attached (appending resumes on the truncated active segment), so
+``engine.apply(...)`` keeps committing where the dead process stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.data.update import Update
+from repro.durability import checkpoint as ckpt
+from repro.durability import wal as walmod
+from repro.durability.manager import (
+    DurabilityConfig,
+    DurabilityManager,
+    coerce_config,
+)
+from repro.exceptions import DurabilityError
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did, for logs, tests, and the benchmark harness."""
+
+    checkpoint_version: int
+    replayed_records: int
+    final_version: int
+    truncated_bytes: int
+    checkpoints_rewritten: int
+    warnings: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "checkpoint_version": self.checkpoint_version,
+            "replayed_records": self.replayed_records,
+            "final_version": self.final_version,
+            "truncated_bytes": self.truncated_bytes,
+            "checkpoints_rewritten": self.checkpoints_rewritten,
+            "warnings": list(self.warnings),
+        }
+
+
+def scan_tail(
+    directory: Path, after_version: int
+) -> Tuple[List[Dict[str, Any]], Optional[Path], int, int, List[str]]:
+    """Collect every durable WAL record with version > ``after_version``.
+
+    Returns ``(records, active_segment, active_valid_length,
+    truncated_bytes, warnings)``.  Only segments from the last one whose
+    start version is ≤ ``after_version`` onward can hold such records
+    (rotation happens at checkpoints); earlier ones are skipped.  Cross-
+    segment version continuity is enforced — a discontinuity truncates
+    the tail there, like any other corruption.
+    """
+    segments = walmod.wal_segments(Path(directory))
+    first = 0
+    for index, (start, _) in enumerate(segments):
+        if start <= after_version:
+            first = index
+    records: List[Dict[str, Any]] = []
+    warnings: List[str] = []
+    truncated = 0
+    active_segment: Optional[Path] = None
+    active_valid_length = 0
+    last_version: Optional[int] = None
+    for start, path in segments[first:]:
+        scan = walmod.scan_wal(path, last_version=last_version)
+        warnings.extend(scan.warnings)
+        truncated += scan.truncated_bytes
+        active_segment = path
+        active_valid_length = scan.valid_length
+        if scan.records:
+            last_version = int(scan.records[-1]["v"])
+        elif last_version is None:
+            last_version = start
+        records.extend(
+            record for record in scan.records if int(record["v"]) > after_version
+        )
+        if scan.truncated_bytes:
+            # Everything past a defect is unreachable crash residue; a
+            # later segment cannot legitimately continue from it.
+            break
+    return records, active_segment, active_valid_length, truncated, warnings
+
+
+def _apply_record(engine, record: Dict[str, Any]) -> None:
+    kind = record["kind"]
+    if kind == "update":
+        engine.apply(
+            Update(record["rel"], tuple(record["tup"]), int(record["m"]))
+        )
+    elif kind == "batch":
+        engine.apply_batch(walmod.decode_batch(record))
+    elif kind == "retune":
+        engine.retune(float(record["eps"]))
+    else:
+        raise DurabilityError(f"unknown WAL record kind {kind!r}")
+
+
+def recover_engine(
+    directory: Union[str, Path],
+    durability: Optional[Union[DurabilityConfig, str, Path]] = None,
+):
+    """Rebuild the durable engine in ``directory``; returns ``(engine, report)``.
+
+    ``durability`` overrides the config the recovered engine resumes
+    with (fsync policy, checkpoint interval, keep count); by default the
+    directory itself with default policy.  Raises
+    :class:`~repro.exceptions.DurabilityError` when the directory's
+    contents cannot be a crash residue of this code (no valid checkpoint
+    at all, a WAL that does not extend its checkpoint, or a replay that
+    misses the expected final version).
+    """
+    from repro.core.api import HierarchicalEngine
+
+    directory = Path(directory)
+    config = coerce_config(durability if durability is not None else directory)
+    try:
+        state, _, ckpt_warnings = ckpt.load_newest_checkpoint(directory)
+    except FileNotFoundError as exc:
+        raise DurabilityError(str(exc)) from exc
+    checkpoint_version = int(state["version"])
+
+    engine = HierarchicalEngine(
+        state["query"],
+        epsilon=float(state["epsilon"]),
+        mode=state["mode"],
+        enable_rebalancing=bool(state["enable_rebalancing"]),
+        copy_database=False,
+        telemetry=False if state.get("telemetry") is None else True,
+    )
+    engine._restore_from_checkpoint(state)
+
+    records, active_segment, valid_length, truncated, warnings = scan_tail(
+        directory, checkpoint_version
+    )
+    if records and int(records[0]["v"]) != checkpoint_version + 1:
+        raise DurabilityError(
+            f"WAL tail starts at version {records[0]['v']} but the checkpoint "
+            f"is at {checkpoint_version}; the log does not extend the checkpoint"
+        )
+
+    manager = DurabilityManager(engine, config)
+    manager.adopt(checkpoint_version)
+    checkpoints_before = manager.stats.checkpoints_written
+    for record in records:
+        _apply_record(engine, record)
+        manager.maybe_checkpoint(int(record["v"]))
+
+    final_version = int(records[-1]["v"]) if records else checkpoint_version
+    if engine.version != final_version:
+        raise DurabilityError(
+            f"replay landed on version {engine.version}, expected {final_version}"
+        )
+    manager.stats.recovered_records = len(records)
+    manager.resume_writer(active_segment, valid_length)
+    engine._attach_durability(manager)
+    report = RecoveryReport(
+        checkpoint_version=checkpoint_version,
+        replayed_records=len(records),
+        final_version=final_version,
+        truncated_bytes=truncated,
+        checkpoints_rewritten=manager.stats.checkpoints_written - checkpoints_before,
+        warnings=[*ckpt_warnings, *warnings],
+    )
+    return engine, report

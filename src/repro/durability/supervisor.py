@@ -1,0 +1,276 @@
+"""Shard supervision: restart-and-recover a dead worker, keep serving.
+
+A :class:`~repro.sharding.ShardedEngine` with a process executor loses a
+whole shard when its worker dies (OOM killer, SIGKILL, a segfault in
+native code).  With per-shard durability each worker logs its own WAL
+and checkpoints into ``<directory>/shard-<i>``, so the shard's state
+survives its process.  :class:`ShardSupervisor` closes the loop:
+
+* every mutation and read goes through the supervisor, which tracks the
+  per-shard versions it has seen acknowledged;
+* a :class:`~repro.exceptions.WorkerDiedError` (a pipe breaking
+  mid-command) triggers ``executor.restart_shard(i)`` — a fresh worker
+  that *recovers* from the shard's durability directory instead of
+  loading a database — while the other shards' pipes stay untouched;
+* the interrupted command is then reconciled per shard: if the recovered
+  worker's version equals the version the supervisor last saw, the dying
+  worker never made the command durable and it is re-sent; if it is one
+  ahead, the command committed but its acknowledgement was lost with the
+  process, and re-sending would double-apply — so it is skipped.  Any
+  other version is a real divergence and raises
+  :class:`~repro.exceptions.DurabilityError`.
+* an optional watcher thread polls ``executor.dead_shards()`` so an
+  *idle* worker's death is repaired before the next command trips on it.
+
+Shard-local snapshots are in-memory copy-on-write state and die with the
+worker: a :class:`~repro.sharding.engine.ShardedSnapshot` held across a
+kill raises :class:`~repro.exceptions.StaleStateError` on its next read
+touching the restarted shard — honest semantics, asserted by the
+process-kill integration test — while a snapshot captured *after* the
+recovery serves the same merged result as the never-killed oracle.
+
+This module deliberately never imports :mod:`repro.sharding` at module
+level (the sharded engine imports :mod:`repro.core.api`, which imports
+this package); everything engine-shaped is duck-typed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.data.update import Update, UpdateBatch
+from repro.exceptions import DurabilityError, WorkerDiedError
+
+
+class ShardSupervisor:
+    """Routes commands to a sharded engine, repairing dead workers en route."""
+
+    def __init__(self, engine, watch_interval: Optional[float] = None) -> None:
+        engine._require_loaded()
+        if engine.durability is None:
+            raise DurabilityError(
+                "the sharded engine has no durability directory; a dead "
+                "shard could only be rebuilt empty"
+            )
+        self.engine = engine
+        self.recoveries = 0
+        self._lock = threading.RLock()
+        self._versions: List[int] = list(engine.shard_versions())
+        self._watch_interval = watch_interval
+        self._stop = threading.Event()
+        self._watcher: Optional[threading.Thread] = None
+        if watch_interval is not None:
+            self._watcher = threading.Thread(
+                target=self._watch, name="repro-shard-supervisor", daemon=True
+            )
+            self._watcher.start()
+
+    # ------------------------------------------------------------------
+    # recovery plumbing
+    # ------------------------------------------------------------------
+    def _recover_shards(self, shard_indexes: Iterable[int]) -> None:
+        executor = self.engine._require_loaded()
+        for index in sorted(set(shard_indexes)):
+            executor.restart_shard(index)
+            self.recoveries += 1
+
+    def _reconcile(self, shard: int, command: str, payload: Any) -> None:
+        """Re-send or skip one interrupted mutation on a recovered shard."""
+        executor = self.engine._require_loaded()
+        durable = executor.call(shard, "version")
+        expected = self._versions[shard]
+        if durable == expected:
+            # the dying worker never committed the command: re-send it
+            executor.call(shard, command, payload)
+        elif durable != expected + 1:
+            raise DurabilityError(
+                f"shard {shard} recovered at version {durable}, but the "
+                f"supervisor last acknowledged {expected}; the shard's "
+                "durability directory does not belong to this deployment"
+            )
+        self._versions[shard] = expected + 1
+
+    def check_and_recover(self) -> List[int]:
+        """Repair any currently-dead workers; returns the shards recovered."""
+        with self._lock:
+            executor = self.engine._require_loaded()
+            dead = executor.dead_shards()
+            if dead:
+                self._recover_shards(dead)
+            return dead
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self._watch_interval):
+            try:
+                self.check_and_recover()
+            except Exception:  # pragma: no cover - watcher must not die
+                continue
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def apply(self, update: Update) -> None:
+        """Route one update to its shard, recovering the shard if it dies."""
+        with self._lock:
+            engine = self.engine
+            executor = engine._require_loaded()
+            shard = engine.router.shard_of_update(update)
+            payload = (update.relation, update.tuple, update.multiplicity)
+            try:
+                executor.call(shard, "update", payload)
+                self._versions[shard] += 1
+            except WorkerDiedError as exc:
+                self._recover_shards(exc.shard_indexes)
+                self._reconcile(shard, "update", payload)
+            engine._version += 1
+
+    apply_update = apply
+
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[Update]]) -> None:
+        """The sharded two-phase batch path with per-shard fault handling.
+
+        Mirrors :meth:`ShardedEngine.apply_batch` (route, validate
+        everywhere, then apply everywhere); a worker death during the
+        apply round is reconciled per shard — survivors already applied
+        (the executor drains every live pipe before raising), dead shards
+        re-send or skip based on their recovered durable version.
+        """
+        with self._lock:
+            engine = self.engine
+            executor = engine._require_loaded()
+            if isinstance(updates, UpdateBatch):
+                sub_batches = engine.router.split_batch(updates)
+            else:
+                sub_batches = engine.router.split_updates(updates)
+            if not sub_batches:
+                engine._version += 1
+                return
+            pre_validated = len(sub_batches) > 1
+            if pre_validated:
+                commands = {
+                    shard: ("validate", batch)
+                    for shard, batch in sub_batches.items()
+                }
+                try:
+                    executor.map(commands)
+                except WorkerDiedError as exc:
+                    # validation is read-only: recover and simply re-ask
+                    self._recover_shards(exc.shard_indexes)
+                    for shard in exc.shard_indexes:
+                        if shard in sub_batches:
+                            executor.call(shard, "validate", sub_batches[shard])
+            commands = {
+                shard: ("batch", (batch, pre_validated))
+                for shard, batch in sub_batches.items()
+            }
+            try:
+                executor.map(commands)
+                for shard in sub_batches:
+                    self._versions[shard] += 1
+            except WorkerDiedError as exc:
+                dead = set(exc.shard_indexes)
+                self._recover_shards(dead)
+                for shard in sub_batches:
+                    if shard in dead:
+                        self._reconcile(shard, "batch", commands[shard][1])
+                    else:
+                        self._versions[shard] += 1
+            engine._version += 1
+
+    def apply_stream(
+        self, updates: Iterable[Update], batch_size: Optional[int] = None
+    ) -> None:
+        """Apply a sequence of updates, optionally chunked into batches."""
+        if batch_size is not None:
+            chunk: List[Update] = []
+            for update in updates:
+                chunk.append(update)
+                if len(chunk) >= batch_size:
+                    self.apply_batch(chunk)
+                    chunk = []
+            if chunk:
+                self.apply_batch(chunk)
+            return
+        for update in updates:
+            self.apply(update)
+
+    def retune(self, epsilon: float) -> None:
+        """Broadcast a shard-local retune, recovering any dead worker."""
+        with self._lock:
+            engine = self.engine
+            executor = engine._require_loaded()
+            commands = {
+                shard: ("retune", epsilon)
+                for shard in range(executor.shard_count)
+            }
+            try:
+                executor.map(commands)
+                for shard in commands:
+                    self._versions[shard] += 1
+            except WorkerDiedError as exc:
+                dead = set(exc.shard_indexes)
+                self._recover_shards(dead)
+                for shard in commands:
+                    if shard in dead:
+                        self._reconcile(shard, "retune", epsilon)
+                    else:
+                        self._versions[shard] += 1
+            engine.epsilon = epsilon
+            engine._version += 1
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _read(self, operation):
+        with self._lock:
+            try:
+                return operation()
+            except WorkerDiedError as exc:
+                self._recover_shards(exc.shard_indexes)
+                return operation()
+
+    def result(self) -> Dict[Tuple, int]:
+        """Merged result; a dead shard is recovered and the read retried."""
+        return self._read(self.engine.result)
+
+    def enumerate(self) -> Iterator[Tuple[Tuple, int]]:
+        """Materialized merged enumeration (recovering, hence not lazy)."""
+        return iter(self._read(lambda: list(self.engine.enumerate())))
+
+    def count_distinct(self) -> int:
+        """Number of distinct result tuples across all shards."""
+        return self._read(self.engine.count_distinct)
+
+    def check_invariants(self) -> None:
+        """Every shard's deep probe plus placement, with recovery retry."""
+        self._read(self.engine.check_invariants)
+
+    def snapshot(self):
+        """Capture a sharded snapshot (recovering dead workers first).
+
+        The capture is only as durable as the workers holding it: a
+        worker killed later takes its shard's snapshot state with it, and
+        reads through this handle then raise
+        :class:`~repro.exceptions.StaleStateError`.
+        """
+        return self._read(self.engine.snapshot)
+
+    def shard_versions(self) -> Tuple[int, ...]:
+        """Every shard's own ingestion-event counter, in shard order."""
+        return tuple(self._read(self.engine.shard_versions))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the watcher and shut the sharded engine down."""
+        self._stop.set()
+        if self._watcher is not None:
+            self._watcher.join(timeout=5)
+            self._watcher = None
+        self.engine.close()
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -70,3 +70,31 @@ class StaleStateError(ReproError):
     enumerator created against the previous load would otherwise silently
     read a mixture of old and new state.  Both raise this error instead.
     """
+
+
+class DurabilityError(ReproError):
+    """The durability layer hit an unrecoverable on-disk inconsistency.
+
+    Torn WAL tails and corrupt trailing checkpoints are *expected* crash
+    residue and are repaired silently (with a log line) during recovery;
+    this error is reserved for states no crash of this code can produce —
+    a directory with no readable checkpoint at all, a WAL whose records
+    contradict the checkpoint they should extend, or a recovery replay
+    that lands on the wrong version.
+    """
+
+
+class WorkerDiedError(ReproError):
+    """A shard worker process died while a command was in flight.
+
+    Carries the indexes of the dead shards so a supervisor
+    (:class:`repro.durability.ShardSupervisor`) can restart and recover
+    exactly the affected workers while the rest keep serving.
+    """
+
+    def __init__(self, shard_indexes, message: str = "") -> None:
+        self.shard_indexes = tuple(sorted(shard_indexes))
+        detail = message or (
+            f"shard worker(s) {list(self.shard_indexes)} died mid-command"
+        )
+        super().__init__(detail)

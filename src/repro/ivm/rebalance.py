@@ -165,6 +165,21 @@ class MaintenanceDriver:
         self.threshold_base = 2 * self.database.size + 1
         self.stats.retunes += 1
         self.version += 1
+        self.rematerialize()
+
+    def rematerialize(self) -> None:
+        """Normalize the live state: fresh index order, views rebuilt.
+
+        Drops every base relation's secondary indexes and recomputes every
+        view at the *current* threshold (no re-anchoring, no version tick).
+        Afterwards the engine's full state — index iteration order, light
+        parts, view contents, and hence enumeration order — is a pure
+        function of (base-relation insertion order, ``threshold_base``,
+        ε), with no residue of pre-call churn.  :meth:`retune` uses this
+        after re-anchoring ``M``; the durability layer uses it as the
+        checkpoint barrier that makes WAL replay byte-exact
+        (:class:`repro.durability.DurabilityManager`).
+        """
         for relation in self.database:
             relation.invalidate_indexes()
         materialize_plan(self.plan, self.threshold)

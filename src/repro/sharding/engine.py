@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import time
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.adaptive.telemetry import WorkloadTelemetry
@@ -46,8 +47,9 @@ from repro.core.planner import QueryPlan, coerce_query, plan_query
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateBatch, validate_batch_size
+from repro.durability.manager import DurabilityConfig, coerce_config
 from repro.enumeration.union import merge_shards
-from repro.exceptions import ReproError, StaleStateError
+from repro.exceptions import DurabilityError, ReproError, StaleStateError
 from repro.ivm.rebalance import RebalanceStats
 from repro.sharding.executor import EXECUTORS, ShardExecutor
 from repro.sharding.router import ShardRouter
@@ -195,6 +197,7 @@ class ShardedEngine:
         executor: str = "auto",
         shard_key: Optional[str] = None,
         telemetry: Union[WorkloadTelemetry, bool, None] = None,
+        durability: Union[DurabilityConfig, str, Path, None] = None,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"shard count must be positive, got {shards}")
@@ -224,6 +227,18 @@ class ShardedEngine:
             self.telemetry = WorkloadTelemetry()
         else:
             self.telemetry = telemetry
+        if durability is not None and mode != DYNAMIC_MODE:
+            raise DurabilityError(
+                "durability requires the dynamic engine (the WAL is keyed "
+                f"by the maintenance version); mode is {mode!r}"
+            )
+        # Per-shard durability: shard i logs and checkpoints under
+        # ``<directory>/shard-<i>`` (see DurabilityConfig.for_shard), so a
+        # dead worker's state survives the process and ShardSupervisor can
+        # restart-and-recover exactly that shard.
+        self.durability: Optional[DurabilityConfig] = (
+            None if durability is None else coerce_config(durability)
+        )
         # the shard-aware planner gate: raises for unshardable queries
         self.router = ShardRouter(self.query, shards, shard_key)
         self.shard_key = self.router.shard_key
@@ -277,7 +292,48 @@ class ShardedEngine:
             },
             shard_databases,
             self.router.shard_key,
+            self.durability,
         )
+        return self
+
+    def recover(self) -> "ShardedEngine":
+        """Restart every shard from its own durability directory.
+
+        The deployment must have been constructed with the same query,
+        shard count, and ``durability`` directory as the one that wrote
+        the shards' WALs and checkpoints.  Each worker recovers
+        independently (newest valid checkpoint + WAL-tail replay, see
+        :func:`repro.durability.recovery.recover_engine`); the facade's
+        ingestion counter resumes at the maximum shard version — an exact
+        count when all shards die together (every facade event ticks
+        every involved shard at most once), and a lower bound otherwise.
+        """
+        if self.durability is None:
+            raise DurabilityError(
+                "this deployment has no durability directory to recover from"
+            )
+        if self._executor is not None:
+            self.close()
+        self._generation += 1
+        self.executor_name = (
+            self._resolve_executor(SMALL_N_THRESHOLD)
+            if self.executor_choice == "auto"
+            else self.executor_choice
+        )
+        self._executor = EXECUTORS[self.executor_name]()
+        self._executor.start(
+            str(self.query),
+            {
+                "epsilon": self.epsilon,
+                "mode": self.mode,
+                "enable_rebalancing": self.enable_rebalancing,
+                "copy_database": False,
+            },
+            [None] * self.shards,
+            self.router.shard_key,
+            self.durability,
+        )
+        self._version = max(self.shard_versions())
         return self
 
     def close(self) -> None:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import builtins
 import multiprocessing
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -41,7 +42,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import repro.exceptions as repro_exceptions
 from repro.core.api import HierarchicalEngine
 from repro.data.database import Database
+from repro.durability.crashpoints import (
+    SimulatedCrashError,
+    _injector_from_env,
+    install_injector,
+)
+from repro.durability.manager import DurabilityConfig
 from repro.enumeration.union import sort_shard_result
+from repro.exceptions import WorkerDiedError
 from repro.ivm.rebalance import RebalanceStats
 from repro.sharding.router import ShardRouter
 
@@ -79,8 +87,11 @@ class _ShardServer:
         shard_index: int,
         shard_count: int,
         shard_key: Optional[str] = None,
+        engine: Optional[HierarchicalEngine] = None,
     ) -> None:
-        self.engine = HierarchicalEngine(query_text, **engine_kwargs)
+        # recovery hands over an already-rebuilt engine; the normal path
+        # constructs a fresh one from the facade's kwargs
+        self.engine = engine or HierarchicalEngine(query_text, **engine_kwargs)
         self.router = ShardRouter(self.engine.query, shard_count, shard_key)
         self.shard_index = shard_index
         # Shard-local snapshot registry: handles cannot cross a process
@@ -110,6 +121,12 @@ class _ShardServer:
             batch, validated = payload
             self.engine._require_dynamic()
             self.engine._driver.on_batch(batch, validated=validated)
+            # Mirror HierarchicalEngine.apply_batch's commit hook: this
+            # path bypasses the facade (pre-validated two-phase ingest),
+            # so a durable shard must log the sub-batch itself or lose it
+            # on the next crash.
+            if self.engine._durability is not None:
+                self.engine._durability.commit_batch(batch, self.engine.version)
             return None
         if command == "enumerate":
             return sort_shard_result(self.engine.enumerate())
@@ -169,10 +186,41 @@ def _load_server(
     shard_index: int,
     shard_count: int,
     shard_key: Optional[str],
-    database: Database,
+    database: Optional[Database],
+    durability: Optional[DurabilityConfig] = None,
 ) -> _ShardServer:
+    """Build one shard server — fresh from ``database``, or recovered.
+
+    ``database=None`` is recovery mode: the shard engine is rebuilt from
+    its own per-shard durability directory (checkpoint + WAL tail) and
+    resumes committing there.  A fresh load with durability starts a new
+    durable history in that directory instead.
+    """
+    shard_config = (
+        durability.for_shard(shard_index) if durability is not None else None
+    )
+    if database is None:
+        if shard_config is None:
+            raise repro_exceptions.DurabilityError(
+                f"shard {shard_index} cannot recover without a durability "
+                "directory"
+            )
+        from repro.durability.recovery import recover_engine
+
+        engine, _report = recover_engine(shard_config.directory, shard_config)
+        return _ShardServer(
+            query_text,
+            engine_kwargs,
+            shard_index,
+            shard_count,
+            shard_key,
+            engine=engine,
+        )
+    kwargs = dict(engine_kwargs)
+    if shard_config is not None:
+        kwargs["durability"] = shard_config
     server = _ShardServer(
-        query_text, engine_kwargs, shard_index, shard_count, shard_key
+        query_text, kwargs, shard_index, shard_count, shard_key
     )
     server.engine.load(database)
     return server
@@ -185,9 +233,23 @@ def _worker_main(
     shard_index: int,
     shard_count: int,
     shard_key: Optional[str],
-    payload: DatabasePayload,
+    payload: Optional[DatabasePayload],
+    durability: Optional[DurabilityConfig] = None,
 ) -> None:
-    """Entry point of one shard worker process: a command loop over a pipe."""
+    """Entry point of one shard worker process: a command loop over a pipe.
+
+    ``payload=None`` starts the worker in recovery mode (see
+    :func:`_load_server`).  A :class:`SimulatedCrashError` escaping a
+    command kills the process for real (``os._exit``) — fault-injection
+    tests arm ``REPRO_CRASH_POINT`` and get a genuine worker death at an
+    exact durability site, ack unsent, pipe broken.
+    """
+    # Re-arm fault injection from the environment here rather than relying
+    # on the import-time hook: forked workers inherit the parent's already-
+    # imported modules, where the env var was not yet set.
+    env_injector = _injector_from_env()
+    if env_injector is not None:
+        install_injector(env_injector)
     try:
         server = _load_server(
             query_text,
@@ -195,7 +257,8 @@ def _worker_main(
             shard_index,
             shard_count,
             shard_key,
-            database_from_payload(payload),
+            None if payload is None else database_from_payload(payload),
+            durability,
         )
         connection.send(("ok", None))
     except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
@@ -212,6 +275,8 @@ def _worker_main(
             break
         try:
             connection.send(("ok", server.handle(command, command_payload)))
+        except SimulatedCrashError:  # pragma: no cover - dies in the child
+            os._exit(1)
         except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
             connection.send(("error", type(exc).__name__, str(exc)))
     connection.close()
@@ -237,13 +302,28 @@ class ShardExecutor:
         self,
         query_text: str,
         engine_kwargs: Dict[str, Any],
-        databases: Sequence[Database],
+        databases: Sequence[Optional[Database]],
         shard_key: Optional[str] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         raise NotImplementedError
 
     def call(self, shard_index: int, command: str, payload: Any = None) -> Any:
         raise NotImplementedError
+
+    def restart_shard(self, shard_index: int) -> None:
+        """Replace one shard's worker with a fresh one recovered from disk.
+
+        Only meaningful when the executor was started with a durability
+        config — the replacement worker rebuilds its engine from the
+        shard's checkpoint + WAL instead of a database payload.  Other
+        shards are untouched and keep serving throughout.
+        """
+        raise NotImplementedError
+
+    def dead_shards(self) -> List[int]:
+        """Shards whose workers are known dead (always live in-process)."""
+        return []
 
     def map(
         self, commands: Dict[int, Tuple[str, Any]]
@@ -273,8 +353,11 @@ class SerialExecutor(ShardExecutor):
 
     name = "serial"
 
-    def start(self, query_text, engine_kwargs, databases, shard_key=None) -> None:
+    def start(
+        self, query_text, engine_kwargs, databases, shard_key=None, durability=None
+    ) -> None:
         self.shard_count = len(databases)
+        self._start_args = (query_text, dict(engine_kwargs), shard_key, durability)
         # in-process executors take the split databases as-is:
         # split_database already produced private copies, so no
         # payload round-trip is needed
@@ -286,9 +369,24 @@ class SerialExecutor(ShardExecutor):
                 self.shard_count,
                 shard_key,
                 database,
+                durability,
             )
             for index, database in enumerate(databases)
         ]
+
+    def restart_shard(self, shard_index: int) -> None:
+        # in-process workers cannot die on their own; this path exists so
+        # recovery-mode reload is testable without a process executor
+        query_text, engine_kwargs, shard_key, durability = self._start_args
+        self._servers[shard_index] = _load_server(
+            query_text,
+            engine_kwargs,
+            shard_index,
+            self.shard_count,
+            shard_key,
+            None,
+            durability,
+        )
 
     def call(self, shard_index, command, payload=None):
         return self._servers[shard_index].handle(command, payload)
@@ -308,8 +406,10 @@ class ThreadExecutor(SerialExecutor):
 
     name = "thread"
 
-    def start(self, query_text, engine_kwargs, databases, shard_key=None) -> None:
-        super().start(query_text, engine_kwargs, databases, shard_key)
+    def start(
+        self, query_text, engine_kwargs, databases, shard_key=None, durability=None
+    ) -> None:
+        super().start(query_text, engine_kwargs, databases, shard_key, durability)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.shard_count),
             thread_name_prefix="repro-shard",
@@ -341,9 +441,12 @@ class ProcessExecutor(ShardExecutor):
 
     name = "process"
 
-    def start(self, query_text, engine_kwargs, databases, shard_key=None) -> None:
+    def start(
+        self, query_text, engine_kwargs, databases, shard_key=None, durability=None
+    ) -> None:
         self.shard_count = len(databases)
-        context = multiprocessing.get_context()
+        self._context = multiprocessing.get_context()
+        self._start_args = (query_text, dict(engine_kwargs), shard_key, durability)
         self._connections = []
         self._processes = []
         # One lock per pipe: concurrent reader sessions (snapshot reads) and
@@ -352,26 +455,57 @@ class ProcessExecutor(ShardExecutor):
         # shard order, so overlapping multi-shard commands cannot deadlock.
         self._conn_locks = [threading.Lock() for _ in databases]
         for index, database in enumerate(databases):
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    child_end,
-                    query_text,
-                    dict(engine_kwargs),
-                    index,
-                    self.shard_count,
-                    shard_key,
-                    database_to_payload(database),
-                ),
-                daemon=True,
+            connection, process = self._spawn_worker(
+                index, None if database is None else database_to_payload(database)
             )
-            process.start()
-            child_end.close()
-            self._connections.append(parent_end)
+            self._connections.append(connection)
             self._processes.append(process)
         for connection in self._connections:
             self._receive(connection)
+
+    def _spawn_worker(self, index: int, payload: Optional[DatabasePayload]):
+        """Fork one shard worker (``payload=None`` → recovery mode)."""
+        query_text, engine_kwargs, shard_key, durability = self._start_args
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_end,
+                query_text,
+                dict(engine_kwargs),
+                index,
+                self.shard_count,
+                shard_key,
+                payload,
+                durability,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return parent_end, process
+
+    def restart_shard(self, shard_index: int) -> None:
+        process = self._processes[shard_index]
+        if process.is_alive():  # pragma: no cover - defensive: forced restart
+            process.terminate()
+        process.join(timeout=5)
+        try:
+            self._connections[shard_index].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        with self._conn_locks[shard_index]:
+            connection, process = self._spawn_worker(shard_index, None)
+            self._connections[shard_index] = connection
+            self._processes[shard_index] = process
+            self._receive(connection)
+
+    def dead_shards(self) -> List[int]:
+        return [
+            index
+            for index, process in enumerate(self._processes)
+            if not process.is_alive()
+        ]
 
     def _receive(self, connection) -> Any:
         reply = connection.recv()
@@ -382,14 +516,21 @@ class ProcessExecutor(ShardExecutor):
     def call(self, shard_index, command, payload=None):
         with self._conn_locks[shard_index]:
             connection = self._connections[shard_index]
-            connection.send((command, payload))
-            return self._receive(connection)
+            try:
+                connection.send((command, payload))
+                reply = connection.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise WorkerDiedError([shard_index]) from exc
+        if reply[0] == "error":
+            _raise_remote(reply[1], reply[2])
+        return reply[1]
 
     def map(self, commands):
         ordered = sorted(commands)
         held = set()
         results: Dict[int, Any] = {}
         first_error: Optional[Tuple[str, str]] = None
+        dead: List[int] = []
         # Every acquired lock is released exactly once even when a pipe
         # dies mid-round (BrokenPipeError on send, EOFError on recv): a
         # leaked lock would deadlock every later command on that shard
@@ -399,17 +540,34 @@ class ProcessExecutor(ShardExecutor):
                 command, payload = commands[index]
                 self._conn_locks[index].acquire()
                 held.add(index)
-                self._connections[index].send((command, payload))
+                try:
+                    self._connections[index].send((command, payload))
+                except (BrokenPipeError, OSError):
+                    dead.append(index)
             # Drain every reply before raising: leaving a queued reply
             # behind would desynchronize that shard's pipe and corrupt
-            # every later command on it.  The first worker-side error is
-            # re-raised after all pipes are level again.
+            # every later command on it.  A dead pipe mid-drain must not
+            # abort the round either — the remaining shards' replies are
+            # still queued, and skipping them would desynchronize every
+            # *surviving* pipe.  Worker deaths collect into one
+            # WorkerDiedError so a supervisor can restart exactly the
+            # affected shards; a worker-side error is re-raised only when
+            # every worker survived.
             for index in ordered:
+                if index in dead:
+                    self._conn_locks[index].release()
+                    held.discard(index)
+                    continue
+                reply = None
                 try:
                     reply = self._connections[index].recv()
+                except (EOFError, OSError):
+                    dead.append(index)
                 finally:
                     self._conn_locks[index].release()
                     held.discard(index)
+                if reply is None:
+                    continue
                 if reply[0] == "error":
                     if first_error is None:
                         first_error = (reply[1], reply[2])
@@ -418,6 +576,8 @@ class ProcessExecutor(ShardExecutor):
         finally:
             for index in held:
                 self._conn_locks[index].release()
+        if dead:
+            raise WorkerDiedError(dead)
         if first_error is not None:
             _raise_remote(*first_error)
         return results

@@ -1,6 +1,6 @@
 """Benchmark gate: re-run the asserted throughput claims so they cannot rot.
 
-Four benchmark modules assert headline performance ratios and record their
+Five benchmark modules assert headline performance ratios and record their
 tables under ``benchmarks/results/``:
 
 * ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
@@ -8,7 +8,9 @@ tables under ``benchmarks/results/``:
 * ``bench_concurrent_serving`` — 4 snapshot readers ≥ 2× the serialized
   read-after-write loop;
 * ``bench_adaptive``           — adaptive ε ≥ 2× the worst fixed ε and
-  within 20% of the best fixed ε on ``phase_shift``.
+  within 20% of the best fixed ε on ``phase_shift``;
+* ``bench_durability``         — WAL-on batched ingestion ≤ 1.3× per tuple,
+  checkpointed recovery ≤ 0.5× replaying the whole WAL.
 
 Committed result files are claims about the code, and nothing in the unit
 suite re-checks them.  This gate replays the benchmark assertions::
@@ -20,11 +22,20 @@ suite re-checks them.  This gate replays the benchmark assertions::
 own lower bounds, so its fixed-wall-clock windows stay meaningful) and is
 wired into CI after ``make test``.  Exit status is non-zero as soon as any
 benchmark assertion fails.
+
+The machine-readable perf history lives in ``BENCH_trajectory.json`` at
+the repo root: one entry per asserted claim, with the PR that introduced
+it, the asserted threshold, and the recorded value.  The gate first
+cross-checks that file against its own benchmark list — every gated claim
+must name a module the gate runs, and every gated module must carry at
+least one claim — so the trajectory cannot silently drift from what is
+actually asserted.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -37,12 +48,63 @@ GATED_BENCHMARKS = (
     "benchmarks/bench_sharded_scaling.py",
     "benchmarks/bench_concurrent_serving.py",
     "benchmarks/bench_adaptive.py",
+    "benchmarks/bench_durability.py",
 )
+
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_trajectory.json"
 
 SMOKE_SCALE = "0.2"
 
 
+def check_trajectory(path: Path = TRAJECTORY_FILE) -> int:
+    """Validate BENCH_trajectory.json against the gated benchmark list."""
+    try:
+        trajectory = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench-gate: cannot read {path.name}: {exc}")
+        return 1
+    problems = []
+    claimed_modules = set()
+    for claim in trajectory.get("claims", ()):
+        label = claim.get("id", "<missing id>")
+        module = claim.get("module", "")
+        for key in ("id", "pr", "module", "metric", "threshold", "recorded"):
+            if key not in claim:
+                problems.append(f"claim {label!r} lacks the {key!r} field")
+        if module and not (REPO_ROOT / module).exists():
+            problems.append(f"claim {label!r} names missing module {module!r}")
+        if claim.get("gated"):
+            claimed_modules.add(module)
+            if module not in GATED_BENCHMARKS:
+                problems.append(
+                    f"claim {label!r} is marked gated but {module!r} is not "
+                    "in the gate's benchmark list"
+                )
+        threshold = claim.get("threshold", {})
+        if threshold.get("kind") not in ("min_ratio", "max_ratio"):
+            problems.append(f"claim {label!r} has unknown threshold kind")
+    for module in GATED_BENCHMARKS:
+        if module not in claimed_modules:
+            problems.append(f"gated module {module!r} carries no claim")
+    if problems:
+        for problem in problems:
+            print(f"bench-gate: {path.name}: {problem}")
+        return 1
+    print(
+        f"bench-gate: {path.name} consistent "
+        f"({len(trajectory.get('claims', ()))} claims over "
+        f"{len(GATED_BENCHMARKS)} gated modules)"
+    )
+    return 0
+
+
 def run_gate(smoke: bool, benchmarks=GATED_BENCHMARKS) -> int:
+    if check_trajectory() != 0:
+        return 1
+    return _run_benchmarks(smoke, benchmarks)
+
+
+def _run_benchmarks(smoke: bool, benchmarks) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""

@@ -14,10 +14,17 @@ first failure the case is shrunk to a minimal repro (delta-debugging over
 updates, database tuples, and the ε grid, keeping the failure *kind*
 stable) and written to ``--out`` as JSON; the process exits non-zero.
 
-Case mix per index: ~50% differential runs on random hierarchical queries,
+Case mix per index: ~45% differential runs on random hierarchical queries,
 ~15% on guaranteed non-hierarchical queries (baselines diffed against each
-other, planner gate checked), ~20% metamorphic property checks, ~15%
-differential runs on a scenario sampled from the workload matrix.
+other, planner gate checked), ~18% metamorphic property checks, ~12%
+differential runs on a scenario sampled from the workload matrix, and ~10%
+kill-mid-batch crash-recovery runs: a durable engine is crashed at a
+case-deterministic fault-injection point (WAL append, the torn half-write
+window, the fsync gap, checkpoint write/fsync/rename, cleanup), recovered
+from checkpoint + WAL, resumed from its durable version, and diffed —
+result, version, and enumeration order — against the naive oracle and a
+never-crashed durable twin.  ``recovery*`` repro files replay the same
+crash point deterministically.
 
 Differential runs put :class:`repro.sharding.ShardedEngine` under test at
 shard counts {1, 2, 4, 7} next to the single engines and the baselines, and
@@ -53,6 +60,7 @@ from repro.conformance import (  # noqa: E402 - sys.path bootstrap above
     DataProfile,
     Mismatch,
     case_failure,
+    crash_recovery_failure,
     check_batch_permutation_invariance,
     check_insert_delete_noop,
     check_partition_union,
@@ -200,9 +208,18 @@ def _failure_predicate(kind: str, prop: str = ""):
     def fails(candidate: ConformanceCase):
         if prop:
             found = metamorphic_failure(candidate, prop)
+        elif kind.startswith("recovery"):
+            found = crash_recovery_failure(candidate)
         else:
             found = case_failure(candidate)
-        if found is not None and found.kind == kind:
+        if found is None:
+            return None
+        if found.kind == kind:
+            return found
+        # Crash-recovery kinds form one family: shrinking changes the case
+        # digest, hence the armed crash point, hence which recovery check
+        # trips first — any recovery-* failure is still the same bug class.
+        if kind.startswith("recovery") and found.kind.startswith("recovery"):
             return found
         return None
 
@@ -241,6 +258,8 @@ def run_repro(path: Path) -> int:
         # kind is "metamorphic:<prop>" or "metamorphic:<prop>:crash" — the
         # middle segment is the property name either way
         mismatch = metamorphic_failure(case, kind.split(":")[1])
+    elif kind.startswith("recovery"):
+        mismatch = crash_recovery_failure(case)
     else:
         mismatch = case_failure(case)
     if mismatch is None:
@@ -253,31 +272,46 @@ def run_repro(path: Path) -> int:
 def fuzz(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
     deadline = time.perf_counter() + args.budget
-    stats = {"differential": 0, "non-hierarchical": 0, "metamorphic": 0, "scenario": 0}
+    stats = {
+        "differential": 0,
+        "non-hierarchical": 0,
+        "metamorphic": 0,
+        "scenario": 0,
+        "crash-recovery": 0,
+    }
     index = 0
     while time.perf_counter() < deadline and index < args.max_cases:
         rng = random.Random(args.seed * 1_000_003 + index)
         roll = rng.random()
+        if args.mode == "crash-recovery":
+            # dedicated kill-mid-batch budget: every case crashes a durable
+            # engine at a case-deterministic fault-injection point
+            roll = 1.0
         try:
-            if roll < 0.50:
+            if roll < 0.45:
                 stats["differential"] += 1
                 case = _differential_case(rng, hierarchical=True)
                 mismatch = case_failure(case)
                 prop = ""
-            elif roll < 0.65:
+            elif roll < 0.60:
                 stats["non-hierarchical"] += 1
                 case = _differential_case(rng, hierarchical=False)
                 mismatch = case_failure(case)
                 prop = ""
-            elif roll < 0.85:
+            elif roll < 0.78:
                 stats["metamorphic"] += 1
                 case = _metamorphic_case(rng)
                 prop = rng.choice(METAMORPHIC_PROPERTIES)
                 mismatch = metamorphic_failure(case, prop)
-            else:
+            elif roll < 0.90:
                 stats["scenario"] += 1
                 case = _scenario_case(rng)
                 mismatch = case_failure(case)
+                prop = ""
+            else:
+                stats["crash-recovery"] += 1
+                case = _differential_case(rng, hierarchical=True)
+                mismatch = crash_recovery_failure(case)
                 prop = ""
         except Exception as exc:  # noqa: BLE001 - generator crash is a finding too
             print(f"\ncase {index}: generator/setup crashed: {type(exc).__name__}: {exc}")
@@ -310,6 +344,12 @@ def main(argv=None) -> int:
         "--out",
         default="fuzz-failures",
         help="directory for minimal-repro JSON files (default: ./fuzz-failures)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("mix", "crash-recovery"),
+        default="mix",
+        help="case mix: the default blend, or kill-mid-batch crash runs only",
     )
     parser.add_argument(
         "--repro", metavar="FILE", help="replay a repro file instead of fuzzing"
