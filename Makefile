@@ -4,17 +4,20 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage fuzz-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-gate docs-check install-dev
+.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-gate docs-check install-dev
 
 ## Tier-1 verification: the coverage gate first — it runs the full test
 ## suite exactly once (fail-fast, under the line collector when pytest-cov
 ## is absent) and fails on any test failure or on coverage below the
 ## pinned baseline — then the seeded conformance fuzz smoke pass, so a
 ## plain unit-test regression surfaces as a unit-test failure rather than
-## a shrunk fuzz artifact.
+## a shrunk fuzz artifact, and finally the networked-serving smoke (one
+## scripted client session, subscription deltas checked against the
+## recompute oracle).
 test:
 	$(MAKE) --no-print-directory coverage
 	$(MAKE) --no-print-directory fuzz-smoke
+	$(MAKE) --no-print-directory serve-smoke
 
 ## Line-coverage gate: `pytest --cov=repro --cov-fail-under=<baseline>`
 ## when pytest-cov is installed, a stdlib sys.settrace collector otherwise
@@ -31,6 +34,13 @@ coverage:
 fuzz-smoke:
 	$(PY) tools/fuzz.py --seed 0 --budget 30
 	$(PY) tools/fuzz.py --seed 0 --budget 15 --mode crash-recovery
+
+## Networked-serving smoke: boot the asyncio TCP server on an ephemeral
+## port, run a scripted client session (paged snapshot, one subscription,
+## a burst of batches over the wire, /metrics over HTTP) and assert the
+## pushed per-commit deltas reproduce the oracle at every version stamp.
+serve-smoke:
+	$(PY) tools/serve_smoke.py
 
 ## Quick benchmark sanity pass: the batched-ingestion benchmark at 1/5 scale.
 bench-smoke:
@@ -55,6 +65,12 @@ bench-serving:
 ## epsilon and within 20% of the best).
 bench-adaptive:
 	$(PY) -m pytest benchmarks/bench_adaptive.py -q
+
+## Push-subscription fan-out benchmark: 200 concurrent subscribers on one
+## event loop, every mirror reproduces the oracle from per-commit deltas,
+## bounded queue memory under a deliberately slow subscriber.
+bench-subscriptions:
+	$(PY) -m pytest benchmarks/bench_subscriptions.py -q
 
 ## Re-run every asserted benchmark claim at reduced scale (the CI gate).
 bench-gate:

@@ -131,6 +131,10 @@ class HierarchicalEngine:
         # against an earlier load raise StaleStateError instead of silently
         # reading the replaced state.
         self._generation = 0
+        # Result-delta capture flag, re-applied to the driver on every
+        # load() so a serving layer that enabled it keeps receiving
+        # per-commit deltas across reloads.
+        self._capture_deltas = False
         self._cow_tracker: Optional[CowTracker] = None
         # Durability: a directory (or DurabilityConfig) makes every accepted
         # update/batch/retune a fsynced WAL record and every Nth commit a
@@ -284,6 +288,8 @@ class HierarchicalEngine:
                 telemetry=self.telemetry,
             )
             self._static_threshold_base = None
+            if self._capture_deltas:
+                self._driver.set_delta_capture(True)
         else:
             self._driver = None
             self._static_threshold_base = max(1.0, float(self._database.size))
@@ -328,6 +334,8 @@ class HierarchicalEngine:
         self._driver.version = int(state["version"])
         self._driver.threshold_base = int(state["threshold_base"])
         self._driver.stats = RebalanceStats.from_dict(state["stats"])
+        if self._capture_deltas:
+            self._driver.set_delta_capture(True)
         self._static_threshold_base = None
         if self.telemetry is not None and state.get("telemetry"):
             self.telemetry.restore_state(state["telemetry"])
@@ -546,6 +554,43 @@ class HierarchicalEngine:
                 "updates require mode='dynamic'; this engine was built for "
                 "static evaluation"
             )
+
+    # ------------------------------------------------------------------
+    # result-delta capture (push-based serving)
+    # ------------------------------------------------------------------
+    def set_delta_capture(self, enabled: bool) -> None:
+        """Start (or stop) accumulating per-commit result-level deltas.
+
+        With capture on, every ingestion event folds the induced change of
+        the *query result* — the first-order delta of the commit's net
+        per-relation groups, computed inside the normal maintenance pass —
+        into a net accumulator that :meth:`drain_result_delta` returns and
+        clears.  This is what powers push-based subscriptions
+        (:mod:`repro.net`): subscribers receive the drained delta per
+        commit instead of re-enumerating.  Rebalances and retunes never
+        contribute (they reorganize views without changing the result).
+        Dynamic mode only; survives :meth:`load`.  The caller owns the
+        drain cadence — an enabled capture that is never drained grows
+        with the net result churn.
+        """
+        if enabled and self.mode != DYNAMIC_MODE:
+            raise UnsupportedQueryError(
+                "delta capture requires mode='dynamic'; a static engine has "
+                "no update stream to capture deltas from"
+            )
+        self._capture_deltas = bool(enabled)
+        if self._driver is not None:
+            self._driver.set_delta_capture(self._capture_deltas)
+
+    def drain_result_delta(self) -> Dict[ValueTuple, int]:
+        """Return and clear the net result delta accumulated since last drain.
+
+        Empty when capture is off (see :meth:`set_delta_capture`) or when
+        the commits since the last drain cancelled out.
+        """
+        if self._driver is None:
+            return {}
+        return self._driver.drain_result_delta()
 
     # ------------------------------------------------------------------
     # adaptive retuning

@@ -42,16 +42,26 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.data.schema import ValueTuple
+from repro.exceptions import WriterFailedError
 
 SERVING_MODES = ("snapshot", "locked")
+
+# A commit listener: called after every committed ingestion event with
+# ``(version, result_delta)`` — see EngineServer.on_commit.
+CommitListener = Callable[[int, Dict[ValueTuple, int]], None]
 
 
 @dataclass
 class ServingStats:
-    """Thread-safe counters describing one server's traffic."""
+    """Thread-safe counters describing one server's traffic.
+
+    ``batches_applied`` counts *commits* — consolidated batches and
+    single-tuple updates alike, since both flow through the same unified
+    commit path (:meth:`EngineServer._commit`).
+    """
 
     batches_applied: int = 0
     reads_served: int = 0
@@ -154,6 +164,11 @@ class EngineServer:
         # entry's close() runs as soon as the pin count drains to zero.
         self._published: Optional[_PublishedVersion] = None
         self._publish_lock = threading.Lock()
+        # Commit listeners (the push-based serving hook): called after
+        # every committed ingestion event, under the write lock, with the
+        # new engine version and the commit's net result delta.  The first
+        # registration turns the engine's result-delta capture on.
+        self._commit_listeners: List[CommitListener] = []
 
     # ------------------------------------------------------------------
     # writer side
@@ -167,28 +182,64 @@ class EngineServer:
             previous.retire()
         return entry
 
-    def apply_batch(self, updates) -> None:
-        """Ingest one consolidated batch, then publish the new version.
+    def on_commit(self, listener: CommitListener) -> None:
+        """Register a listener called after every committed ingestion event.
 
-        With a :attr:`controller` attached, the commit may auto-retune the
-        engine first — the published snapshot then already serves the new
-        ε, so readers never observe a half-retuned version.
+        The listener receives ``(version, result_delta)`` — the engine
+        version after the commit (auto-retune included) and the commit's
+        net result-level delta, drained from the engine's capture hook
+        (:meth:`~repro.core.api.HierarchicalEngine.set_delta_capture`).
+        Called under the write lock, *after* the new version is published,
+        so listeners observe commits serialized and in version order;
+        :class:`repro.net.EngineTCPServer` fans these out to its
+        subscribers.  Registering the first listener enables delta capture
+        on the engine (dynamic engines only; on a static engine listeners
+        simply receive empty deltas).
+        """
+        if not self._commit_listeners:
+            set_capture = getattr(self.engine, "set_delta_capture", None)
+            if set_capture is not None and getattr(self.engine, "mode", None) == "dynamic":
+                set_capture(True)
+        self._commit_listeners.append(listener)
+
+    def _commit(self, ingest: Callable[[], None]) -> None:
+        """The single commit path shared by batches and single updates.
+
+        Ingest, consult the adaptive controller (the commit may auto-retune
+        the engine — the published snapshot then already serves the new ε,
+        so readers never observe a half-retuned version), publish, and
+        notify commit listeners — all under the write lock; then count the
+        commit.  Keeping single-tuple updates on this exact path is what
+        makes them auto-retune and appear in :class:`ServingStats` like any
+        batch (they previously bypassed all three).
         """
         with self._write_lock:
-            self.engine.apply_batch(updates)
+            ingest()
             if self.controller is not None:
                 if self.controller.maybe_retune() is not None:
                     self.stats.count_retune()
             if self.mode == "snapshot":
                 self._publish_locked()
+            if self._commit_listeners:
+                drain = getattr(self.engine, "drain_result_delta", None)
+                delta = drain() if drain is not None else {}
+                version = self.engine.version
+                for listener in self._commit_listeners:
+                    listener(version, delta)
         self.stats.count_batch()
 
+    def apply_batch(self, updates) -> None:
+        """Ingest one consolidated batch, then publish the new version."""
+        self._commit(lambda: self.engine.apply_batch(updates))
+
     def apply_update(self, update) -> None:
-        """Ingest one single-tuple update, then publish the new version."""
-        with self._write_lock:
-            self.engine.apply(update)
-            if self.mode == "snapshot":
-                self._publish_locked()
+        """Ingest one single-tuple update through the same commit path.
+
+        Identical contract to :meth:`apply_batch` — controller consult,
+        retune counting, publish, listener notification, and
+        ``stats.count_batch()`` (a single update is a commit of one).
+        """
+        self._commit(lambda: self.engine.apply(update))
 
     def start_writer(self, batches: Iterable) -> threading.Thread:
         """Run a writer loop ingesting ``batches`` on a background thread.
@@ -217,6 +268,25 @@ class EngineServer:
         self._writer_thread = thread
         thread.start()
         return thread
+
+    def check_writer(self) -> None:
+        """Raise promptly if a started writer loop has died.
+
+        Every :meth:`read` (and the networked server's loops) consults
+        this probe, so a dead writer surfaces at the next read as a
+        :class:`~repro.exceptions.WriterFailedError` — with the original
+        exception attached as ``__cause__`` — instead of readers serving a
+        silently frozen version until someone happens to call
+        :meth:`stop_writer`.  The stored error is *not* cleared:
+        ``stop_writer`` still re-raises the original.
+        """
+        error = self._writer_error
+        if error is not None:
+            raise WriterFailedError(
+                f"the writer loop died with {type(error).__name__}: {error}; "
+                "the served version is frozen — stop_writer() re-raises the "
+                "original error"
+            ) from error
 
     def stop_writer(self, timeout: Optional[float] = None) -> None:
         """Signal the writer loop to stop, join it, and surface its error.
@@ -293,8 +363,11 @@ class EngineServer:
         ``pairs`` are a torn-read-free enumeration prefix of one engine
         version — the full result with ``limit=None``, or the first
         ``limit`` tuples (a page, in the paper's constant-delay enumeration
-        model) otherwise.
+        model) otherwise.  Raises
+        :class:`~repro.exceptions.WriterFailedError` if a started writer
+        loop has died (see :meth:`check_writer`).
         """
+        self.check_writer()
         started = time.perf_counter()
         if self.mode == "snapshot":
             entry = self._current_pinned()
@@ -326,18 +399,23 @@ class EngineServer:
 
         Each session loops :meth:`read` until the deadline; the tickets of
         every session are returned (used by the stress tests and the
-        concurrent-serving benchmark).  Reader exceptions propagate.
+        concurrent-serving benchmark).  Reader exceptions propagate — and
+        the *first* error aborts every peer session via a shared abort
+        event, so a failed reader surfaces after at most one in-flight
+        read per peer instead of burning the full wall-clock window.
         """
         deadline = time.perf_counter() + duration_seconds
         tickets: List[List[ReadTicket]] = [[] for _ in range(count)]
         errors: List[BaseException] = []
+        abort = threading.Event()
 
         def session(slot: int) -> None:
             try:
-                while time.perf_counter() < deadline:
+                while not abort.is_set() and time.perf_counter() < deadline:
                     tickets[slot].append(self.read(limit))
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors.append(exc)
+                abort.set()
 
         threads = [
             threading.Thread(

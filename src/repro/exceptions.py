@@ -84,6 +84,17 @@ class DurabilityError(ReproError):
     """
 
 
+class WriterFailedError(ReproError):
+    """The serving writer loop died; readers must not keep serving silently.
+
+    :class:`repro.core.serving.EngineServer` captures a writer-loop
+    exception and — instead of sitting on it until ``stop_writer`` — raises
+    this from :meth:`~repro.core.serving.EngineServer.check_writer`, which
+    every read consults.  The original exception is attached as
+    ``__cause__`` and is still re-raised by ``stop_writer``.
+    """
+
+
 class WorkerDiedError(ReproError):
     """A shard worker process died while a command was in flight.
 

@@ -28,6 +28,18 @@ keeps the sibling snapshots consistent exactly like the sequential path
 Rebalancing (threshold maintenance) is handled separately by
 :mod:`repro.ivm.rebalance`; the batched path defers it to one check per
 batch (:meth:`repro.ivm.rebalance.MaintenanceDriver.on_batch`).
+
+**Result-delta capture** (the push-based serving hook): when enabled via
+:meth:`UpdateProcessor.set_delta_capture`, every ingestion event also
+computes the induced change of the *query result* — the classical
+first-order delta ``π_head(δR ⋈ S ⋈ T ⋈ …)`` of the net per-relation
+group against the other atoms' base relations, evaluated at the same
+group-sequential point the grouped propagation uses — and accumulates it
+into a drainable net delta.  Subscribers of
+:class:`repro.net.EngineTCPServer` receive exactly these per-commit deltas
+instead of re-enumerating; rebalances and retunes never contribute (they
+reorganize views without changing the result).  Disabled, the hook is a
+single ``None`` check per group.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from repro.exceptions import (
     UnknownRelationError,
     UnsupportedQueryError,
 )
+from repro.engine.join import BoundRelation, delta_join
 from repro.ivm.delta import Delta, propagate_delta
 from repro.query.atom import Atom
 from repro.views.indicators import IndicatorTriple
@@ -65,6 +78,62 @@ class UpdateProcessor:
                     "the dynamic engine (paper footnote 2)"
                 )
             self._atoms_by_relation[atom.relation] = atom
+        # Result-delta capture (push-based serving): ``None`` when disabled;
+        # a net ``{result_tuple: multiplicity}`` accumulator otherwise,
+        # shared with the batch processor and drained per commit by the
+        # serving layer.
+        self._result_capture: Optional[Delta] = None
+
+    # ------------------------------------------------------------------
+    # result-delta capture
+    # ------------------------------------------------------------------
+    def set_delta_capture(self, enabled: bool) -> None:
+        """Start (or stop) accumulating per-commit result-level deltas."""
+        if enabled:
+            if self._result_capture is None:
+                self._result_capture = {}
+        else:
+            self._result_capture = None
+
+    @property
+    def capturing_deltas(self) -> bool:
+        return self._result_capture is not None
+
+    def drain_result_delta(self) -> Delta:
+        """Return and clear the net result delta accumulated since last drain."""
+        if self._result_capture is None:
+            return {}
+        drained, self._result_capture = self._result_capture, {}
+        return drained
+
+    def _capture_group(self, relation_name: str, group: Mapping[ValueTuple, int]) -> None:
+        """Fold one relation group's first-order result delta into the capture.
+
+        ``π_head(δR ⋈ S ⋈ T ⋈ …)`` against the *base* relations of every
+        other atom — which, at the group-sequential point where this runs,
+        already include every previously processed group of the same commit
+        and none of the later ones, so summing the per-group deltas yields
+        the commit's exact net result delta (the delta rule is linear in
+        ``δR`` for fixed sibling contents).
+        """
+        capture = self._result_capture
+        if capture is None:
+            return
+        atom = self._atoms_by_relation[relation_name]
+        siblings = [
+            BoundRelation(other.variables, self.database.relation(other.relation))
+            for other in self.query.atoms
+            if other is not atom
+        ]
+        delta = delta_join(
+            atom.variables, group, siblings, tuple(self.query.head)
+        )
+        for tup, mult in delta.items():
+            updated = capture.get(tup, 0) + mult
+            if updated:
+                capture[tup] = updated
+            else:
+                capture.pop(tup, None)
 
     # ------------------------------------------------------------------
     # helpers
@@ -127,6 +196,7 @@ class UpdateProcessor:
 
         # (2) the shared base relation absorbs the update exactly once
         relation.apply_delta(update.tuple, update.multiplicity)
+        self._capture_group(relation.name, delta)
 
         # (3) strategy trees and indicator All trees referencing the base relation
         self._propagate_to_trees(relation.name, schema, delta)
@@ -312,6 +382,7 @@ class BatchUpdateProcessor:
         # (2) the shared base relation absorbs the whole group exactly once
         for tup, mult in group.items():
             relation.apply_delta(tup, mult)
+        self.processor._capture_group(relation_name, group)
 
         # (3) one grouped traversal per strategy tree and indicator All tree
         for tree in self._trees_for(relation_name):

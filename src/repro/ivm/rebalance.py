@@ -128,6 +128,23 @@ class MaintenanceDriver:
         self.threshold_base = 2 * database.size + 1
 
     # ------------------------------------------------------------------
+    # result-delta capture (push-based serving)
+    # ------------------------------------------------------------------
+    def set_delta_capture(self, enabled: bool) -> None:
+        """Start (or stop) accumulating per-commit result-level deltas.
+
+        Forwarded to the shared :class:`UpdateProcessor` capture hook —
+        rebalances and retunes driven by this class never contribute (they
+        reorganize views without changing the query result), so the drained
+        delta reflects ingestion events only.
+        """
+        self.processor.set_delta_capture(enabled)
+
+    def drain_result_delta(self):
+        """Return and clear the net result delta accumulated since last drain."""
+        return self.processor.drain_result_delta()
+
+    # ------------------------------------------------------------------
     @property
     def threshold(self) -> float:
         """The current heavy/light threshold ``M^ε``."""

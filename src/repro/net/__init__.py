@@ -1,0 +1,67 @@
+"""Networked serving: push-based delta subscriptions over asyncio TCP.
+
+The network layer puts a wire in front of the in-process serving stack
+(:class:`~repro.core.serving.EngineServer`):
+
+* :mod:`repro.net.protocol` — length-prefixed JSON frames and the wire
+  encodings for tuples, pairs, and updates.
+* :mod:`repro.net.server` — :class:`EngineTCPServer` (asyncio) plus the
+  :class:`ServerThread` adapter for synchronous hosts; serves requests,
+  paged snapshot enumeration, push subscriptions with bounded-queue
+  backpressure, and ``GET /metrics`` on the same port.
+* :mod:`repro.net.client` — the blocking :class:`EngineClient` and the
+  asyncio :class:`AsyncEngineClient`, both mirroring subscriptions
+  through the delta/resync state machine.
+* :mod:`repro.net.metrics` — Prometheus text-format export.
+
+See ``docs/architecture.md`` section 13 for the protocol contract, and
+``tools/serve.py`` for the command-line entry point.
+"""
+
+from repro.net.client import (
+    AsyncEngineClient,
+    AsyncSubscription,
+    EngineClient,
+    RemoteSnapshot,
+    Subscription,
+    SubscriptionState,
+)
+from repro.net.metrics import render_server_metrics
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosedError,
+    ProtocolError,
+    RemoteError,
+    unwire_pairs,
+    unwire_updates,
+    wire_pairs,
+    wire_updates,
+)
+from repro.net.server import (
+    EngineTCPServer,
+    NetServerStats,
+    ServerConfig,
+    ServerThread,
+)
+
+__all__ = [
+    "AsyncEngineClient",
+    "AsyncSubscription",
+    "ConnectionClosedError",
+    "EngineClient",
+    "EngineTCPServer",
+    "MAX_FRAME_BYTES",
+    "NetServerStats",
+    "ProtocolError",
+    "RemoteError",
+    "RemoteSnapshot",
+    "ServerConfig",
+    "ServerThread",
+    "Subscription",
+    "SubscriptionState",
+    "render_server_metrics",
+    "unwire_pairs",
+    "unwire_updates",
+    "wire_pairs",
+    "wire_updates",
+]

@@ -1,0 +1,205 @@
+"""Prometheus text-format rendering of the serving layer's statistics.
+
+The networked server answers plain ``GET /metrics`` HTTP requests on its
+one listening port (see :class:`repro.net.server.EngineTCPServer`) with
+the text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
+comment lines followed by ``name value`` samples.  The export flattens
+four sources into one page:
+
+* :class:`~repro.adaptive.telemetry.WorkloadTelemetry` — ingest/read
+  traffic counters and EWMA costs (``repro_workload_*``),
+* :class:`~repro.ivm.rebalance.RebalanceStats` — minor/major rebalances,
+  heavy/light moves, retunes (``repro_rebalance_*``),
+* :class:`~repro.core.serving.ServingStats` — commits, reads, auto-retunes
+  served by the :class:`~repro.core.serving.EngineServer`
+  (``repro_serving_*``),
+* the network layer's own counters (``repro_net_*``) plus engine gauges
+  (``repro_engine_version``, ``repro_engine_epsilon``).
+
+Only the stdlib is used; no Prometheus client dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: (metric name, type, help) per family; values are looked up dynamically.
+_Sample = Tuple[str, str, str, float]
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_families(samples: List[_Sample]) -> str:
+    """Render ``(name, type, help, value)`` samples as exposition text."""
+    lines: List[str] = []
+    for name, mtype, help_text, value in samples:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.append(f"{name} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _prefixed(
+    prefix: str,
+    mapping: Mapping[str, float],
+    types: Mapping[str, str],
+    helps: Mapping[str, str],
+) -> List[_Sample]:
+    samples: List[_Sample] = []
+    for key, value in mapping.items():
+        name = f"{prefix}_{key}"
+        samples.append(
+            (
+                name,
+                types.get(key, "gauge"),
+                helps.get(key, f"{key} from the {prefix} group."),
+                float(value),
+            )
+        )
+    return samples
+
+
+_WORKLOAD_TYPES = {
+    "update_events": "counter",
+    "update_tuples": "counter",
+    "update_seconds": "counter",
+    "read_events": "counter",
+    "read_tuples": "counter",
+    "read_seconds": "counter",
+}
+_WORKLOAD_HELPS = {
+    "update_events": "Ingestion events recorded by the workload telemetry.",
+    "update_tuples": "Source tuples across all recorded ingestion events.",
+    "update_seconds": "Wall-clock seconds spent in recorded ingestion.",
+    "read_events": "Enumeration events recorded by the workload telemetry.",
+    "read_tuples": "Tuples produced across all recorded enumerations.",
+    "read_seconds": "Wall-clock seconds spent in recorded enumeration.",
+    "ewma_update_seconds": "EWMA-smoothed per-event ingestion cost.",
+    "ewma_read_seconds": "EWMA-smoothed per-event enumeration cost.",
+    "read_fraction": "EWMA-smoothed fraction of events that are reads.",
+}
+
+_REBALANCE_HELPS = {
+    "updates": "Single-tuple updates processed by the maintenance driver.",
+    "batches": "Consolidated batches processed by the maintenance driver.",
+    "minor_rebalances": "Minor (per-key) heavy/light rebalances.",
+    "major_rebalances": "Major (full repartition) rebalances.",
+    "moved_to_light": "Keys demoted from the heavy to the light partition.",
+    "moved_to_heavy": "Keys promoted from the light to the heavy partition.",
+    "retunes": "Explicit epsilon retunes (each is a major rebalance).",
+}
+
+_SERVING_HELPS = {
+    "batches_applied": "Commits applied through the serving commit path.",
+    "reads_served": "Read tickets served.",
+    "retunes_applied": "Auto-retunes triggered by the adaptive controller.",
+}
+
+_NET_HELPS = {
+    "connections_total": "TCP connections accepted since server start.",
+    "connections_current": "TCP connections currently open.",
+    "connections_refused": "Connections refused at the connection limit.",
+    "frames_received": "Protocol frames received across all connections.",
+    "frames_sent": "Protocol frames sent across all connections.",
+    "requests_failed": "Requests answered with an error frame.",
+    "subscriptions_total": "Subscriptions opened since server start.",
+    "subscribers_current": "Subscriptions currently active.",
+    "deltas_pushed": "Per-commit delta frames enqueued to subscribers.",
+    "resyncs": "Slow-subscriber resyncs (queue overflow coalescing).",
+    "commits_observed": "Engine commits observed by the push hub.",
+    "max_queue_depth": "High-water mark of any subscriber send queue.",
+    "http_requests": "Plain HTTP requests served on the shared port.",
+}
+
+
+def render_server_metrics(
+    serving,
+    net_stats: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render one Prometheus page for an :class:`EngineServer`.
+
+    ``serving`` is the :class:`repro.core.serving.EngineServer`;
+    ``net_stats`` is the optional flat counter dict of the TCP front-end.
+    Sources that are absent (no telemetry attached, engine not loaded yet,
+    static engine without rebalance stats) are simply omitted.
+    """
+    samples: List[_Sample] = []
+    engine = serving.engine
+
+    version = getattr(engine, "version", None)
+    if version is not None:
+        samples.append(
+            (
+                "repro_engine_version",
+                "gauge",
+                "Engine version: count of committed ingestion events.",
+                float(version),
+            )
+        )
+    epsilon = getattr(engine, "epsilon", None)
+    if epsilon is not None:
+        samples.append(
+            (
+                "repro_engine_epsilon",
+                "gauge",
+                "Current epsilon trade-off parameter.",
+                float(epsilon),
+            )
+        )
+
+    telemetry = getattr(engine, "telemetry", None)
+    if telemetry is not None:
+        samples.extend(
+            _prefixed(
+                "repro_workload",
+                telemetry.as_dict(),
+                _WORKLOAD_TYPES,
+                _WORKLOAD_HELPS,
+            )
+        )
+
+    rebalance = None
+    try:
+        rebalance = engine.rebalance_stats
+    except Exception:  # noqa: BLE001 - not loaded / static engine
+        rebalance = None
+    if rebalance is not None:
+        samples.extend(
+            _prefixed(
+                "repro_rebalance",
+                rebalance.as_dict(),
+                {key: "counter" for key in _REBALANCE_HELPS},
+                _REBALANCE_HELPS,
+            )
+        )
+
+    stats = serving.stats
+    samples.extend(
+        _prefixed(
+            "repro_serving",
+            {
+                "batches_applied": stats.batches_applied,
+                "reads_served": stats.reads_served,
+                "retunes_applied": stats.retunes_applied,
+            },
+            {key: "counter" for key in _SERVING_HELPS},
+            _SERVING_HELPS,
+        )
+    )
+
+    if net_stats is not None:
+        net_types: Dict[str, str] = {
+            key: "gauge"
+            if key in ("connections_current", "subscribers_current", "max_queue_depth")
+            else "counter"
+            for key in net_stats
+        }
+        samples.extend(_prefixed("repro_net", net_stats, net_types, _NET_HELPS))
+
+    return render_families(samples)

@@ -1,0 +1,201 @@
+"""Wire protocol for the networked serving layer: length-prefixed JSON.
+
+Every message on the wire is one *frame*: a 4-byte big-endian unsigned
+length followed by that many bytes of UTF-8 JSON encoding a single object.
+The same framing is used in both directions and by both the blocking
+(:mod:`socket`) client and the :mod:`asyncio` server, so the helpers here
+come in sync and async flavours sharing one encoder.
+
+Two message shapes flow over a connection:
+
+* **Requests and responses** carry an ``"id"`` key: the client picks a
+  per-connection monotonically increasing integer, the server echoes it in
+  exactly one response (``"ok": true`` plus op-specific payload, or
+  ``"ok": false`` with ``"error"``/``"kind"``).
+* **Pushes** carry a ``"sub"`` key instead: server-initiated subscription
+  traffic (``"kind": "delta"`` or ``"kind": "resync"``) that the client
+  demultiplexes to the matching subscription.
+
+JSON has no tuples, so result tuples cross the wire as lists and are
+re-tupled on arrival by :func:`unwire_pairs`; scenario values are scalars
+(ints/strings), which JSON round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.update import Update
+from repro.exceptions import ReproError
+
+PROTOCOL_VERSION = 1
+
+#: Frame header: one 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct(">I")
+
+#: Hard ceiling on a single frame's payload, defending both sides against
+#: a corrupt or hostile header claiming a multi-gigabyte length.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire protocol (bad header, overflow, bad JSON)."""
+
+
+class ConnectionClosedError(ReproError):
+    """The peer closed the connection mid-conversation."""
+
+
+class RemoteError(ReproError):
+    """The server answered a request with ``ok: false``.
+
+    ``kind`` carries the server-side exception class name (for example
+    ``"RejectedUpdateError"``) so clients can branch without parsing the
+    message text.
+    """
+
+    def __init__(self, message: str, kind: str = "ReproError") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame payload back into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def parse_header(header: bytes) -> int:
+    """Validate a 4-byte header and return the announced payload length."""
+    if len(header) != HEADER.size:
+        raise ProtocolError(f"truncated frame header ({len(header)} bytes)")
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes, above MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return length
+
+
+def recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Blocking read of exactly ``count`` bytes (or raise on early EOF)."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosedError(
+                f"connection closed with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Blocking read of one frame from a connected socket."""
+    length = parse_header(recv_exactly(sock, HEADER.size))
+    return decode_payload(recv_exactly(sock, length))
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Blocking write of one frame to a connected socket."""
+    sock.sendall(encode_frame(message))
+
+
+async def read_frame_async(reader, header: Optional[bytes] = None) -> Dict[str, Any]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    ``header`` lets the caller hand over 4 bytes it already consumed (the
+    server peeks the first bytes of a connection to detect HTTP).
+    Returns ``None``-equivalent by raising :class:`ConnectionClosedError`
+    on a clean EOF *between* frames; EOF mid-frame is also an error.
+    """
+    import asyncio
+
+    try:
+        if header is None:
+            header = await reader.readexactly(HEADER.size)
+        length = parse_header(header)
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosedError(
+            "connection closed mid-frame"
+            if exc.partial
+            else "connection closed"
+        ) from exc
+    return decode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# value conversion: engine objects <-> JSON-safe structures
+# ----------------------------------------------------------------------
+def wire_tuple(tup: Sequence[Any]) -> List[Any]:
+    return list(tup)
+
+
+def unwire_tuple(raw: Any) -> Tuple[Any, ...]:
+    if not isinstance(raw, (list, tuple)):
+        raise ProtocolError(f"expected a tuple on the wire, got {raw!r}")
+    return tuple(raw)
+
+
+def wire_pairs(pairs: Iterable[Tuple[Sequence[Any], int]]) -> List[List[Any]]:
+    """Encode ``(tuple, multiplicity)`` pairs as ``[[values...], mult]``."""
+    return [[list(tup), int(mult)] for tup, mult in pairs]
+
+
+def unwire_pairs(raw: Any) -> List[Tuple[Tuple[Any, ...], int]]:
+    """Decode the output of :func:`wire_pairs`."""
+    if not isinstance(raw, list):
+        raise ProtocolError(f"expected a pair list on the wire, got {raw!r}")
+    pairs: List[Tuple[Tuple[Any, ...], int]] = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ProtocolError(f"malformed wire pair {item!r}")
+        tup, mult = item
+        pairs.append((unwire_tuple(tup), int(mult)))
+    return pairs
+
+
+def wire_updates(updates: Iterable[Update]) -> List[List[Any]]:
+    """Encode updates as ``[relation, [values...], multiplicity]`` triples."""
+    return [[u.relation, list(u.tuple), int(u.multiplicity)] for u in updates]
+
+
+def unwire_updates(raw: Any) -> List[Update]:
+    """Decode the output of :func:`wire_updates`."""
+    if not isinstance(raw, list):
+        raise ProtocolError(f"expected an update list on the wire, got {raw!r}")
+    updates: List[Update] = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise ProtocolError(f"malformed wire update {item!r}")
+        relation, tup, mult = item
+        updates.append(Update(str(relation), unwire_tuple(tup), int(mult)))
+    return updates

@@ -1,0 +1,749 @@
+"""Asyncio TCP front-end for an :class:`~repro.core.serving.EngineServer`.
+
+:class:`EngineTCPServer` serves the length-prefixed JSON frame protocol of
+:mod:`repro.net.protocol` on one listening port.  Connections multiplex
+three kinds of traffic:
+
+* **Request/response ops** — ``ping``, ``read``, ``lookup``,
+  ``apply_batch``/``apply_update``, snapshot paging
+  (``snapshot_open``/``snapshot_page``/``snapshot_lookup``/
+  ``snapshot_close``), ``subscribe``/``unsubscribe``, ``metrics`` and
+  ``stats``.  Each connection's requests are dispatched sequentially;
+  blocking engine work runs on a thread pool so the event loop never
+  stalls on enumeration or maintenance.
+* **Push-based subscriptions** — a subscription receives the full result
+  once (in the ``subscribe`` response) and then one consolidated delta
+  frame per engine commit, computed from the batch's net effect by the
+  maintenance layer's result-delta capture and fanned out by the
+  :meth:`~repro.core.serving.EngineServer.on_commit` hook.
+* **Plain HTTP** — the server peeks the first four bytes of every
+  connection; ``GET `` switches the connection to a minimal HTTP/1.0
+  responder so ``GET /metrics`` (Prometheus text format, see
+  :mod:`repro.net.metrics`) works from curl or a Prometheus scraper with
+  no extra port.
+
+Backpressure contract (the part that keeps memory bounded): every
+subscriber owns a bounded send queue.  While the subscriber keeps up,
+each commit enqueues one delta frame.  When the queue is full at commit
+time the subscriber is marked *lagging*: its queue is cleared, a single
+resync marker takes its place, and subsequent commits only bump the
+server's ``latest_version`` (coalescing — nothing accumulates per lagging
+subscriber).  The sender turns the marker into one full-state resync
+frame, reading the engine repeatedly until the read's version has caught
+up with ``latest_version`` (checked on the event loop, so no commit can
+slip between the check and the subscriber re-arming).  A subscriber
+therefore costs at most ``queue_size`` frames of memory no matter how
+slow its socket drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.core.planner import coerce_query
+from repro.core.serving import EngineServer
+from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.net.metrics import render_server_metrics
+from repro.net.protocol import (
+    HEADER,
+    ConnectionClosedError,
+    ProtocolError,
+    encode_frame,
+    read_frame_async,
+    unwire_tuple,
+    unwire_updates,
+    wire_pairs,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`EngineTCPServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from ``server.port``
+    #: Connections above this limit receive an error frame and are closed.
+    max_connections: int = 256
+    #: Total concurrent subscriptions across all connections.
+    max_subscriptions: int = 1024
+    #: Private snapshots a single session may hold open.
+    max_snapshots_per_session: int = 16
+    #: Bound of each subscriber's send queue (frames); overflowing it
+    #: switches the subscriber to the coalescing resync path.  A client
+    #: may request a *smaller* queue in its subscribe op.
+    subscriber_queue_size: int = 32
+    #: Threads for blocking engine work (reads, maintenance, snapshots).
+    executor_threads: int = 4
+    #: When set, shrink each accepted connection's kernel send buffer and
+    #: the asyncio transport's write high-water mark to this many bytes.
+    #: Production servers leave it at ``None``; the backpressure tests and
+    #: the subscription benchmark set it low so a non-reading subscriber
+    #: stalls its sender (and overflows its queue) after a bounded number
+    #: of frames instead of after megabytes of kernel buffering.
+    send_buffer_bytes: Optional[int] = None
+
+
+class NetServerStats:
+    """Thread-safe counters of the TCP front-end (exported to /metrics)."""
+
+    _FIELDS = (
+        "connections_total",
+        "connections_current",
+        "connections_refused",
+        "frames_received",
+        "frames_sent",
+        "requests_failed",
+        "subscriptions_total",
+        "subscribers_current",
+        "deltas_pushed",
+        "resyncs",
+        "commits_observed",
+        "max_queue_depth",
+        "http_requests",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    def add(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def note_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
+
+
+class _Subscriber:
+    """One push subscription: its bounded queue and sender task."""
+
+    __slots__ = ("sid", "session", "queue", "lagging", "task")
+
+    def __init__(self, sid: int, session: "_Session", queue_size: int) -> None:
+        self.sid = sid
+        self.session = session
+        self.queue: "asyncio.Queue[Tuple]" = asyncio.Queue(maxsize=queue_size)
+        self.lagging = False
+        self.task: Optional[asyncio.Task] = None
+
+
+class _Session:
+    """Per-connection state: writer, open snapshots, subscriptions."""
+
+    __slots__ = ("writer", "write_lock", "snapshots", "iterators", "subscribers")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        # One frame writer at a time: StreamWriter.drain() does not support
+        # concurrent waiters on every Python version, and senders run
+        # concurrently with the request dispatcher.
+        self.write_lock = asyncio.Lock()
+        self.snapshots: Dict[int, Any] = {}
+        self.iterators: Dict[int, Any] = {}
+        self.subscribers: Dict[int, _Subscriber] = {}
+
+
+class EngineTCPServer:
+    """Serve one :class:`EngineServer` over TCP (see module docstring)."""
+
+    def __init__(
+        self, serving: EngineServer, config: Optional[ServerConfig] = None
+    ) -> None:
+        self.serving = serving
+        self.config = config or ServerConfig()
+        self.stats = NetServerStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._sessions: Dict[int, _Session] = {}
+        self._subscribers: Dict[int, _Subscriber] = {}
+        self._next_session = 0
+        self._next_snapshot = 0
+        self._next_subscription = 0
+        #: Highest committed version observed by the push hub; lagging
+        #: subscribers resync against this ratchet.
+        self.latest_version = 0
+        self._closed = False
+        self._listener_installed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "EngineTCPServer":
+        """Bind the listening socket and install the commit listener."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-net",
+        )
+        self._closed = False
+        if not self._listener_installed:
+            # EngineServer keeps listeners for its lifetime; ``_closed``
+            # turns this one into a no-op after stop().
+            self.serving.on_commit(self._on_engine_commit)
+            self._listener_installed = True
+        self.latest_version = getattr(self.serving.engine, "version", 0)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with the ephemeral ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.config.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting, tear down every session, release the pool."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for session in list(self._sessions.values()):
+            await self._teardown_session(session)
+        self._sessions.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # commit fan-out (the push hub)
+    # ------------------------------------------------------------------
+    def _on_engine_commit(self, version: int, delta: Dict) -> None:
+        """EngineServer commit listener: runs in the committing thread."""
+        if self._closed:
+            return
+        loop = self._loop
+        if loop is None:
+            return
+        payload = wire_pairs(delta.items())
+        try:
+            loop.call_soon_threadsafe(self._publish_commit, version, payload)
+        except RuntimeError:  # pragma: no cover - loop torn down mid-commit
+            pass
+
+    def _publish_commit(self, version: int, wire_delta) -> None:
+        """Fan one commit out to every subscriber; runs on the event loop."""
+        if version > self.latest_version:
+            self.latest_version = version
+        self.stats.add("commits_observed")
+        for sub in list(self._subscribers.values()):
+            if sub.lagging:
+                # Coalesced: the pending resync marker covers this commit,
+                # because the resync ratchet reads at >= latest_version.
+                continue
+            try:
+                sub.queue.put_nowait(("delta", version, wire_delta))
+            except asyncio.QueueFull:
+                sub.lagging = True
+                while True:
+                    try:
+                        sub.queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                sub.queue.put_nowait(("resync",))
+                self.stats.add("resyncs")
+            else:
+                self.stats.add("deltas_pushed")
+                self.stats.note_queue_depth(sub.queue.qsize())
+
+    async def _subscription_sender(self, sub: _Subscriber) -> None:
+        """Drain one subscriber's queue onto its connection."""
+        try:
+            while True:
+                item = await sub.queue.get()
+                if item[0] == "delta":
+                    _, version, wire_delta = item
+                    await self._send(
+                        sub.session,
+                        {
+                            "sub": sub.sid,
+                            "kind": "delta",
+                            "version": version,
+                            "delta": wire_delta,
+                        },
+                    )
+                else:  # resync marker
+                    while True:
+                        ticket = await self._run(self.serving.read)
+                        if self.latest_version <= ticket.version:
+                            # Checked on the event loop with no await
+                            # before the flag flip: no commit can land in
+                            # between, so re-arming here is gap-free.
+                            sub.lagging = False
+                            break
+                    await self._send(
+                        sub.session,
+                        {
+                            "sub": sub.sid,
+                            "kind": "resync",
+                            "version": ticket.version,
+                            "result": wire_pairs(ticket.pairs),
+                        },
+                    )
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionClosedError, ConnectionError, OSError):
+            pass  # the connection loop handles session teardown
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _run(self, fn: Callable, *args) -> Any:
+        """Run blocking engine work on the pool."""
+        assert self._loop is not None and self._pool is not None
+        return await self._loop.run_in_executor(self._pool, fn, *args)
+
+    async def _send(self, session: _Session, message: Dict[str, Any]) -> None:
+        data = encode_frame(message)
+        async with session.write_lock:
+            session.writer.write(data)
+            await session.writer.drain()
+        self.stats.add("frames_sent")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._closed:
+            writer.close()
+            return
+        if self.config.send_buffer_bytes is not None:
+            import socket as socket_module
+
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket_module.SOL_SOCKET,
+                    socket_module.SO_SNDBUF,
+                    self.config.send_buffer_bytes,
+                )
+            writer.transport.set_write_buffer_limits(
+                high=self.config.send_buffer_bytes
+            )
+        if len(self._sessions) >= self.config.max_connections:
+            self.stats.add("connections_refused")
+            try:
+                writer.write(
+                    encode_frame(
+                        {
+                            "ok": False,
+                            "kind": "ServerBusy",
+                            "error": (
+                                "connection limit reached "
+                                f"({self.config.max_connections})"
+                            ),
+                        }
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._next_session += 1
+        session = _Session(writer)
+        self._sessions[self._next_session] = session
+        session_id = self._next_session
+        self.stats.add("connections_total")
+        self.stats.add("connections_current")
+        try:
+            try:
+                first = await reader.readexactly(HEADER.size)
+            except asyncio.IncompleteReadError:
+                return  # EOF before the first complete header
+            if first == b"GET ":
+                await self._serve_http(first, reader, writer)
+                return
+            header: Optional[bytes] = first
+            while True:
+                message = await read_frame_async(reader, header=header)
+                header = None
+                self.stats.add("frames_received")
+                await self._dispatch(session, message)
+        except ConnectionClosedError:
+            pass
+        except (ConnectionError, OSError, ProtocolError):
+            pass
+        finally:
+            self._sessions.pop(session_id, None)
+            self.stats.add("connections_current", -1)
+            await self._teardown_session(session)
+
+    async def _teardown_session(self, session: _Session) -> None:
+        for sub in list(session.subscribers.values()):
+            self._drop_subscriber(sub)
+        session.subscribers.clear()
+        for sid, snapshot in list(session.snapshots.items()):
+            session.snapshots.pop(sid, None)
+            session.iterators.pop(sid, None)
+            try:
+                await self._run(snapshot.close)
+            except Exception:  # noqa: BLE001 - teardown is best effort
+                pass
+        try:
+            session.writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    def _drop_subscriber(self, sub: _Subscriber) -> None:
+        if self._subscribers.pop(sub.sid, None) is not None:
+            self.stats.add("subscribers_current", -1)
+        sub.session.subscribers.pop(sub.sid, None)
+        if sub.task is not None:
+            sub.task.cancel()
+
+    # ------------------------------------------------------------------
+    # the HTTP side door
+    # ------------------------------------------------------------------
+    async def _serve_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Answer one plain HTTP request (``GET /metrics``) and close."""
+        self.stats.add("http_requests")
+        try:
+            request_line = first + await reader.readline()
+            while True:  # drain headers up to the blank line
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if path.split("?")[0] == "/metrics":
+                body = (
+                    render_server_metrics(self.serving, self.stats.as_dict())
+                ).encode("utf-8")
+                status = "200 OK"
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"not found; try /metrics\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, session: _Session, message: Dict[str, Any]) -> None:
+        request_id = message.get("id")
+        op = message.get("op")
+        try:
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None or not isinstance(op, str) or op.startswith("_"):
+                raise ProtocolError(f"unknown op {op!r}")
+            reply = await handler(session, message)
+            if reply is not None:
+                reply["id"] = request_id
+                reply["ok"] = True
+                await self._send(session, reply)
+        except (ConnectionClosedError, ConnectionError, OSError):
+            raise
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported to the peer
+            self.stats.add("requests_failed")
+            kind = type(exc).__name__ if isinstance(exc, (ReproError, ValueError, KeyError)) else "InternalError"
+            await self._send(
+                session,
+                {"id": request_id, "ok": False, "kind": kind, "error": str(exc)},
+            )
+
+    async def _op_ping(self, session: _Session, message: Dict) -> Dict:
+        engine = self.serving.engine
+        return {
+            "protocol": 1,
+            "query": str(engine.query),
+            "mode": getattr(engine, "mode", None),
+            "serving_mode": self.serving.mode,
+            "epsilon": getattr(engine, "epsilon", None),
+            "version": getattr(engine, "version", 0),
+        }
+
+    async def _op_read(self, session: _Session, message: Dict) -> Dict:
+        limit = message.get("limit")
+        ticket = await self._run(self.serving.read, limit)
+        return {"version": ticket.version, "pairs": wire_pairs(ticket.pairs)}
+
+    async def _op_lookup(self, session: _Session, message: Dict) -> Dict:
+        self.serving.check_writer()
+        tup = unwire_tuple(message.get("tuple"))
+        if self.serving.mode == "snapshot":
+            entry = self.serving._current_pinned()
+            try:
+                multiplicity = await self._run(entry.snapshot.lookup, tup)
+                version = entry.snapshot.version
+            finally:
+                entry.unpin()
+        else:  # locked mode has no published version; capture one briefly
+
+            def locked_lookup():
+                snapshot = self.serving.snapshot()
+                try:
+                    return snapshot.version, snapshot.lookup(tup)
+                finally:
+                    snapshot.close()
+
+            version, multiplicity = await self._run(locked_lookup)
+        return {"version": version, "multiplicity": multiplicity}
+
+    async def _op_apply_batch(self, session: _Session, message: Dict) -> Dict:
+        updates = unwire_updates(message.get("updates"))
+        await self._run(self.serving.apply_batch, updates)
+        return {"version": getattr(self.serving.engine, "version", 0)}
+
+    async def _op_apply_update(self, session: _Session, message: Dict) -> Dict:
+        updates = unwire_updates([message.get("update")])
+        await self._run(self.serving.apply_update, updates[0])
+        return {"version": getattr(self.serving.engine, "version", 0)}
+
+    # -- snapshot paging ------------------------------------------------
+    async def _op_snapshot_open(self, session: _Session, message: Dict) -> Dict:
+        self.serving.check_writer()
+        if len(session.snapshots) >= self.config.max_snapshots_per_session:
+            raise ProtocolError(
+                "session snapshot limit reached "
+                f"({self.config.max_snapshots_per_session}); close one first"
+            )
+        snapshot = await self._run(self.serving.snapshot)
+        self._next_snapshot += 1
+        sid = self._next_snapshot
+        session.snapshots[sid] = snapshot
+        session.iterators[sid] = iter(snapshot.enumerate())
+        return {"snap": sid, "version": snapshot.version}
+
+    def _session_snapshot(self, session: _Session, message: Dict):
+        sid = message.get("snap")
+        snapshot = session.snapshots.get(sid)
+        if snapshot is None:
+            raise ProtocolError(f"unknown snapshot handle {sid!r}")
+        return sid, snapshot
+
+    async def _op_snapshot_page(self, session: _Session, message: Dict) -> Dict:
+        sid, snapshot = self._session_snapshot(session, message)
+        limit = int(message.get("limit", 100))
+        if limit <= 0:
+            raise ProtocolError(f"page limit must be positive, got {limit}")
+        iterator = session.iterators[sid]
+
+        def pull():
+            page = []
+            for pair in iterator:
+                page.append(pair)
+                if len(page) >= limit:
+                    return page, False
+            return page, True
+
+        page, done = await self._run(pull)
+        return {
+            "snap": sid,
+            "version": snapshot.version,
+            "pairs": wire_pairs(page),
+            "done": done,
+        }
+
+    async def _op_snapshot_lookup(self, session: _Session, message: Dict) -> Dict:
+        sid, snapshot = self._session_snapshot(session, message)
+        tup = unwire_tuple(message.get("tuple"))
+        multiplicity = await self._run(snapshot.lookup, tup)
+        return {"snap": sid, "version": snapshot.version, "multiplicity": multiplicity}
+
+    async def _op_snapshot_close(self, session: _Session, message: Dict) -> Dict:
+        sid, snapshot = self._session_snapshot(session, message)
+        session.snapshots.pop(sid, None)
+        session.iterators.pop(sid, None)
+        await self._run(snapshot.close)
+        return {"snap": sid, "closed": True}
+
+    # -- subscriptions --------------------------------------------------
+    async def _op_subscribe(self, session: _Session, message: Dict) -> Optional[Dict]:
+        self.serving.check_writer()
+        engine = self.serving.engine
+        if getattr(engine, "mode", None) != "dynamic":
+            raise UnsupportedQueryError(
+                "subscriptions require a dynamic engine; this server fronts "
+                f"a {getattr(engine, 'mode', 'unknown')!r}-mode engine with "
+                "no per-commit delta capture"
+            )
+        requested = message.get("query")
+        if requested is not None and coerce_query(requested) != engine.query:
+            raise UnsupportedQueryError(
+                f"this server serves {str(engine.query)!r}; subscribe to it "
+                f"(got {requested!r})"
+            )
+        if len(self._subscribers) >= self.config.max_subscriptions:
+            raise ProtocolError(
+                f"subscription limit reached ({self.config.max_subscriptions})"
+            )
+        queue_size = self.config.subscriber_queue_size
+        requested_queue = message.get("queue")
+        if requested_queue is not None:
+            queue_size = max(1, min(int(requested_queue), queue_size))
+        self._next_subscription += 1
+        sub = _Subscriber(self._next_subscription, session, queue_size)
+        # Register FIRST, then read: every commit after this point is
+        # queued, and the read observes at least every commit before it —
+        # the client skips pushed versions <= the initial version, so the
+        # overlap is deduplicated and there is no gap.
+        self._subscribers[sub.sid] = sub
+        session.subscribers[sub.sid] = sub
+        self.stats.add("subscriptions_total")
+        self.stats.add("subscribers_current")
+        try:
+            ticket = await self._run(self.serving.read)
+        except BaseException:
+            self._drop_subscriber(sub)
+            raise
+        await self._send(
+            session,
+            {
+                "id": message.get("id"),
+                "ok": True,
+                "sub": sub.sid,
+                "version": ticket.version,
+                "result": wire_pairs(ticket.pairs),
+            },
+        )
+        assert self._loop is not None
+        sub.task = self._loop.create_task(self._subscription_sender(sub))
+        return None  # response already sent (before the sender could race it)
+
+    async def _op_unsubscribe(self, session: _Session, message: Dict) -> Dict:
+        sid = message.get("sub")
+        sub = session.subscribers.get(sid)
+        if sub is None:
+            raise ProtocolError(f"unknown subscription {sid!r}")
+        self._drop_subscriber(sub)
+        return {"sub": sid, "closed": True}
+
+    # -- introspection --------------------------------------------------
+    async def _op_metrics(self, session: _Session, message: Dict) -> Dict:
+        text = render_server_metrics(self.serving, self.stats.as_dict())
+        return {"text": text}
+
+    async def _op_stats(self, session: _Session, message: Dict) -> Dict:
+        serving = self.serving.stats
+        return {
+            "net": self.stats.as_dict(),
+            "serving": {
+                "batches_applied": serving.batches_applied,
+                "reads_served": serving.reads_served,
+                "retunes_applied": serving.retunes_applied,
+            },
+            "version": getattr(self.serving.engine, "version", 0),
+            "latest_pushed_version": self.latest_version,
+        }
+
+
+class ServerThread:
+    """Run an :class:`EngineTCPServer` on a dedicated event-loop thread.
+
+    The blocking-world adapter used by :mod:`tools.serve`, the smoke test,
+    and any test that drives the server from synchronous code::
+
+        handle = ServerThread(serving_server).start()
+        client = EngineClient("127.0.0.1", handle.port)
+        ...
+        handle.close()
+    """
+
+    def __init__(
+        self, serving: EngineServer, config: Optional[ServerConfig] = None
+    ) -> None:
+        self.serving = serving
+        self.config = config or ServerConfig()
+        self.server: Optional[EngineTCPServer] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):  # pragma: no cover - startup hang
+            raise RuntimeError("networked server did not start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - loop crash
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = EngineTCPServer(self.serving, self.config)
+        try:
+            await server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the server and join its thread."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

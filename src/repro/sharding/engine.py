@@ -49,7 +49,12 @@ from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateBatch, validate_batch_size
 from repro.durability.manager import DurabilityConfig, coerce_config
 from repro.enumeration.union import merge_shards
-from repro.exceptions import DurabilityError, ReproError, StaleStateError
+from repro.exceptions import (
+    DurabilityError,
+    ReproError,
+    StaleStateError,
+    UnsupportedQueryError,
+)
 from repro.ivm.rebalance import RebalanceStats
 from repro.sharding.executor import EXECUTORS, ShardExecutor
 from repro.sharding.router import ShardRouter
@@ -251,6 +256,10 @@ class ShardedEngine:
         # (and per apply_stream chunk), mirroring the single engine's
         # MaintenanceDriver.version.
         self._version = 0
+        # Result-delta capture flag, re-broadcast to the shards on every
+        # load()/recover() so a serving layer that enabled it keeps
+        # receiving per-commit deltas across reloads.
+        self._capture_deltas = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -294,6 +303,8 @@ class ShardedEngine:
             self.router.shard_key,
             self.durability,
         )
+        if self._capture_deltas:
+            self._executor.broadcast("set_delta_capture", True)
         return self
 
     def recover(self) -> "ShardedEngine":
@@ -333,6 +344,8 @@ class ShardedEngine:
             self.router.shard_key,
             self.durability,
         )
+        if self._capture_deltas:
+            self._executor.broadcast("set_delta_capture", True)
         self._version = max(self.shard_versions())
         return self
 
@@ -527,6 +540,42 @@ class ShardedEngine:
             replies[shard][1] for shard in range(executor.shard_count)
         )
         return ShardedSnapshot(self, snapshot_ids, shard_versions, self._version)
+
+    # ------------------------------------------------------------------
+    # result-delta capture (push-based serving)
+    # ------------------------------------------------------------------
+    def set_delta_capture(self, enabled: bool) -> None:
+        """Start (or stop) per-commit result-delta capture on every shard.
+
+        Mirrors :meth:`HierarchicalEngine.set_delta_capture`: each shard
+        accumulates its shard-local first-order result deltas inside the
+        normal maintenance pass, and :meth:`drain_result_delta` sums the
+        shard dicts — joins are shard-local by construction, so the global
+        result delta is exactly the sum of the per-shard ones.  Survives
+        :meth:`load` and :meth:`recover`.
+        """
+        if enabled and self.mode != DYNAMIC_MODE:
+            raise UnsupportedQueryError(
+                "delta capture requires the dynamic engine; a static "
+                "deployment has no update stream to capture deltas from"
+            )
+        self._capture_deltas = bool(enabled)
+        if self._executor is not None:
+            self._executor.broadcast("set_delta_capture", self._capture_deltas)
+
+    def drain_result_delta(self) -> Dict[ValueTuple, int]:
+        """Return and clear the fleet's net result delta since last drain."""
+        executor = self._require_loaded()
+        merged: Dict[ValueTuple, int] = {}
+        for pairs in executor.broadcast("drain_delta"):
+            for tup, mult in pairs:
+                tup = tuple(tup)
+                updated = merged.get(tup, 0) + mult
+                if updated:
+                    merged[tup] = updated
+                else:
+                    merged.pop(tup, None)
+        return merged
 
     # ------------------------------------------------------------------
     # adaptive retuning

@@ -153,6 +153,15 @@ class _ShardServer:
             # shard-local HierarchicalEngine.retune
             self.engine.retune(payload)
             return None
+        if command == "set_delta_capture":
+            self.engine.set_delta_capture(bool(payload))
+            return None
+        if command == "drain_delta":
+            # per-shard net result delta since the last drain; the facade
+            # sums the shard dicts (shard results are disjoint up to
+            # shard-key collisions, which summing handles like the k-way
+            # merge does)
+            return list(self.engine.drain_result_delta().items())
         if command == "version":
             return self.engine.version
         if command == "check":

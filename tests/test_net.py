@@ -1,0 +1,469 @@
+"""The networked serving layer: protocol, server, client, subscriptions.
+
+The end-to-end contract under test: everything a client observes over the
+wire — paged snapshots, point lookups, reads, and above all subscription
+pushes — must match a recompute oracle at the version stamps the server
+reports.  The subscription conformance test drives mixed batches through
+the wire with a mid-stream auto-retune and checks the mirrored state at
+*every* version; the backpressure test wedges a non-reading subscriber
+and asserts the coalesce-to-resync path re-converges it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import socket
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import Database, HierarchicalEngine, Update
+from repro.baselines.naive import NaiveRecomputeEngine
+from repro.core.api import StaticEngine
+from repro.core.serving import EngineServer
+from repro.net import (
+    AsyncEngineClient,
+    EngineClient,
+    RemoteError,
+    ServerConfig,
+    ServerThread,
+)
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    parse_header,
+    read_frame,
+    unwire_pairs,
+    unwire_updates,
+    wire_pairs,
+    wire_updates,
+    write_frame,
+)
+
+PATH_QUERY = "Q(A, C) = R(A, B), S(B, C)"
+DOMAIN = 8
+
+
+def make_database(seed: int = 13, rows: int = 60, hot: int = 0) -> Database:
+    rng = random.Random(seed)
+    database = Database()
+    database.create_relation("R", ("A", "B"))
+    database.create_relation("S", ("B", "C"))
+    for c in range(hot):
+        database.relation("S").apply_delta((0, c), 1)
+    for _ in range(rows):
+        database.relation("R").apply_delta(
+            (rng.randrange(DOMAIN), rng.randrange(DOMAIN)), 1
+        )
+        database.relation("S").apply_delta(
+            (rng.randrange(DOMAIN), rng.randrange(DOMAIN)), 1
+        )
+    return database
+
+
+def mixed_batch(rng: random.Random, inserted) -> list:
+    batch = []
+    for _ in range(6):
+        if inserted and rng.random() < 0.4:
+            relation, tup = inserted.pop(rng.randrange(len(inserted)))
+            batch.append(Update(relation, tup, -1))
+        else:
+            relation = rng.choice(("R", "S"))
+            tup = (rng.randrange(DOMAIN), rng.randrange(DOMAIN))
+            inserted.append((relation, tup))
+            batch.append(Update(relation, tup, 1))
+    return batch
+
+
+@contextlib.contextmanager
+def serve(engine=None, config=None, mode="snapshot", controller=None):
+    owns_engine = engine is None
+    if engine is None:
+        engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5).load(make_database())
+    serving = EngineServer(engine, mode=mode, controller=controller)
+    handle = ServerThread(serving, config or ServerConfig()).start()
+    try:
+        yield serving, handle
+    finally:
+        handle.close()
+        if owns_engine:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# wire protocol
+# ----------------------------------------------------------------------
+def test_frame_roundtrip():
+    message = {"op": "ping", "id": 7, "values": [[1, 2], 3], "text": "héllo"}
+    frame = encode_frame(message)
+    assert parse_header(frame[:4]) == len(frame) - 4
+    assert decode_payload(frame[4:]) == message
+
+
+def test_frame_header_guards():
+    with pytest.raises(ProtocolError):
+        parse_header(b"\x00\x00")  # truncated
+    oversized = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(ProtocolError):
+        parse_header(oversized)
+    with pytest.raises(ProtocolError):
+        decode_payload(b"not json")
+    with pytest.raises(ProtocolError):
+        decode_payload(b"[1, 2, 3]")  # not an object
+
+
+def test_pairs_and_updates_roundtrip():
+    pairs = [((1, "x"), 2), ((3, 4), -1)]
+    assert unwire_pairs(wire_pairs(pairs)) == pairs
+    updates = [Update("R", (1, 2), 1), Update("S", ("a", 0), -2)]
+    assert unwire_updates(wire_updates(updates)) == updates
+    with pytest.raises(ProtocolError):
+        unwire_pairs([["missing-mult"]])
+    with pytest.raises(ProtocolError):
+        unwire_updates([["R", [1, 2]]])  # missing multiplicity
+
+
+# ----------------------------------------------------------------------
+# request/response ops
+# ----------------------------------------------------------------------
+def test_ping_read_and_lookup_roundtrip():
+    with serve() as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            hello = client.ping()
+            assert hello["query"] == str(serving.engine.query)
+            assert hello["mode"] == "dynamic"
+            version, pairs = client.read()
+            expected = serving.engine.result()
+            assert version == serving.engine.version
+            assert {tup: mult for tup, mult in pairs} == expected
+            if expected:
+                probe = next(iter(expected))
+                assert client.lookup(probe) == expected[probe]
+            assert client.lookup((99, 99)) == 0
+
+
+def test_paged_snapshot_enumeration():
+    with serve() as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            with client.open_snapshot() as snap:
+                pairs, done = snap.page(7)
+                assert len(pairs) == 7 and not done
+                rest = list(snap.pairs(page_size=11))
+                full = {tup: mult for tup, mult in pairs + rest}
+                assert full == serving.engine.result()
+                # the cursor is exhausted: further pages are empty
+                tail, done = snap.page(5)
+                assert tail == [] and done
+            # closed handle is gone server-side
+            with pytest.raises(RemoteError):
+                client._request("snapshot_page", snap=snap.snap, limit=5)
+
+
+def test_snapshot_is_isolated_from_later_commits():
+    with serve() as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            before = serving.engine.result()
+            snap = client.open_snapshot()
+            client.apply_batch([Update("R", (0, 0), 1), Update("S", (0, 7), 1)])
+            assert snap.result(page_size=20) == before
+            snap.close()
+            assert client.result() == serving.engine.result()
+
+
+def test_snapshot_limit_per_session():
+    config = ServerConfig(max_snapshots_per_session=2)
+    with serve(config=config) as (_, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            first = client.open_snapshot()
+            client.open_snapshot()
+            with pytest.raises(RemoteError, match="snapshot limit"):
+                client.open_snapshot()
+            first.close()  # freeing one slot re-admits
+            client.open_snapshot()
+
+
+def test_wire_apply_update_and_rejection_kinds():
+    with serve() as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            version = client.apply_update(Update("R", (5, 5), 1))
+            assert version == serving.engine.version
+            assert serving.stats.batches_applied == 1
+            with pytest.raises(RemoteError) as info:
+                client.apply_batch([Update("R", (7, 7), -3)])
+            assert info.value.kind == "RejectedUpdateError"
+            # the rejected commit neither bumped the version nor broke serving
+            assert client.read()[0] == version
+
+
+def test_unknown_op_and_bad_snapshot_handle():
+    with serve() as (_, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            with pytest.raises(RemoteError, match="unknown op"):
+                client._request("frobnicate")
+            with pytest.raises(RemoteError, match="unknown snapshot"):
+                client._request("snapshot_page", snap=999, limit=5)
+
+
+def test_connection_limit_refuses_with_error_frame():
+    config = ServerConfig(max_connections=1)
+    with serve(config=config) as (_, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            client.ping()
+            refused = socket.create_connection(("127.0.0.1", handle.port), 5)
+            try:
+                reply = read_frame(refused)
+                assert reply["ok"] is False and reply["kind"] == "ServerBusy"
+            finally:
+                refused.close()
+            # the admitted session keeps working
+            assert client.ping()["protocol"] == 1
+            stats = client.server_stats()
+            assert stats["net"]["connections_refused"] == 1
+
+
+def test_locked_mode_serves_over_the_wire():
+    engine = HierarchicalEngine(PATH_QUERY).load(make_database())
+    with serve(engine=engine, mode="locked") as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            version, pairs = client.read()
+            assert {t: m for t, m in pairs} == engine.result()
+            client.apply_batch([Update("R", (1, 1), 1)])
+            assert client.read()[0] == version + 1
+            probe = next(iter(engine.result()))
+            assert client.lookup(probe) == engine.result()[probe]
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# subscriptions
+# ----------------------------------------------------------------------
+class RetuneOnceController:
+    """Retunes exactly once, at the Nth consult."""
+
+    def __init__(self, engine, at_commit: int) -> None:
+        self.engine = engine
+        self.at_commit = at_commit
+        self.consults = 0
+
+    def maybe_retune(self):
+        self.consults += 1
+        if self.consults == self.at_commit:
+            self.engine.retune(0.9)
+            return 0.9
+        return None
+
+
+def test_subscription_conformance_across_retune():
+    """Pushed deltas reproduce the oracle at every version, spanning an
+    auto-retune that bumps the version mid-stream."""
+    engine = HierarchicalEngine(PATH_QUERY, epsilon=0.3).load(make_database())
+    controller = RetuneOnceController(engine, at_commit=10)
+    oracle = NaiveRecomputeEngine(PATH_QUERY)
+    oracle.load(make_database())
+    with serve(engine=engine, controller=controller) as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            subscription = client.subscribe(query=PATH_QUERY)
+            initial = dict(subscription.result())
+            assert initial == oracle.result()
+
+            rng = random.Random(55)
+            inserted = []
+            trajectory = {}
+            final_version = subscription.version
+            for _ in range(20):
+                batch = mixed_batch(rng, inserted)
+                final_version = client.apply_batch(batch)
+                for update in batch:
+                    oracle.update(update.relation, update.tuple, update.multiplicity)
+                trajectory[final_version] = oracle.result()
+
+            assert controller.consults >= 20  # the retune really happened
+            assert subscription.wait_for_version(final_version, 30.0)
+            assert subscription.result() == oracle.result()
+
+            # replay every pushed delta from the initial result: the mirror
+            # must equal the oracle at each version stamp it passes through
+            replay = dict(initial)
+            matched = 0
+            for kind, version, pairs in subscription.state.events:
+                assert kind == "delta"
+                for tup, mult in pairs:
+                    updated = replay.get(tuple(tup), 0) + mult
+                    if updated:
+                        replay[tuple(tup)] = updated
+                    else:
+                        replay.pop(tuple(tup), None)
+                if version in trajectory:
+                    assert replay == trajectory[version], (
+                        f"pushed deltas diverged at version {version}"
+                    )
+                    matched += 1
+            assert matched == len(trajectory)
+    engine.close()
+
+
+def test_subscribe_rejects_wrong_query_and_static_engine():
+    with serve() as (_, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            with pytest.raises(RemoteError) as info:
+                client.subscribe(query="Q(A) = R(A, B), S(B)")
+            assert info.value.kind == "UnsupportedQueryError"
+    static = StaticEngine(PATH_QUERY)
+    static.load(make_database())
+    with serve(engine=static) as (_, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            with pytest.raises(RemoteError) as info:
+                client.subscribe()
+            assert info.value.kind == "UnsupportedQueryError"
+
+
+def test_unsubscribe_stops_pushes():
+    with serve() as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            subscription = client.subscribe()
+            client.apply_batch([Update("R", (0, 1), 1), Update("S", (1, 0), 1)])
+            assert subscription.wait_for_version(serving.engine.version, 10.0)
+            subscription.close()
+            client.apply_batch([Update("R", (0, 2), 1), Update("S", (2, 0), 1)])
+            time.sleep(0.3)
+            assert subscription.version < serving.engine.version
+            stats = client.server_stats()
+            assert stats["net"]["subscribers_current"] == 0
+
+
+def test_slow_subscriber_coalesces_to_resync():
+    """A wedged subscriber overflows its bounded queue, gets coalesced,
+    and re-converges through one full-state resync."""
+    engine = HierarchicalEngine(PATH_QUERY, epsilon=0.5).load(
+        make_database(rows=0, hot=400)
+    )
+    oracle = NaiveRecomputeEngine(PATH_QUERY)
+    oracle.load(make_database(rows=0, hot=400))
+    config = ServerConfig(subscriber_queue_size=2, send_buffer_bytes=4096)
+    with serve(engine=engine, config=config) as (serving, handle):
+        wedged = socket.socket()
+        wedged.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        wedged.connect(("127.0.0.1", handle.port))
+        write_frame(wedged, {"op": "subscribe", "id": 1, "queue": 2})
+        reply = read_frame(wedged)
+        assert reply["ok"], reply
+        version = reply["version"]
+        state = {tup: mult for tup, mult in unwire_pairs(reply["result"])}
+
+        # every commit fans 400 result tuples at the wedged subscriber
+        for a in range(30):
+            serving.apply_batch([Update("R", (a, 0), 1)])
+            oracle.update("R", (a, 0), 1)
+        final = engine.version
+        time.sleep(0.3)
+
+        resyncs = 0
+        wedged.settimeout(15)
+        while version < final:
+            message = read_frame(wedged)
+            if "sub" not in message:
+                continue
+            if message["kind"] == "delta":
+                if message["version"] <= version:
+                    continue
+                for tup, mult in unwire_pairs(message["delta"]):
+                    updated = state.get(tup, 0) + mult
+                    if updated:
+                        state[tup] = updated
+                    else:
+                        state.pop(tup, None)
+                version = message["version"]
+            else:
+                state = {t: m for t, m in unwire_pairs(message["result"])}
+                version = message["version"]
+                resyncs += 1
+        wedged.close()
+
+        assert state == oracle.result(), "diverged after resync"
+        assert resyncs >= 1, "bounded queue never overflowed into a resync"
+        net = handle.server.stats.as_dict()
+        assert net["resyncs"] >= 1
+        assert net["max_queue_depth"] <= config.subscriber_queue_size
+    engine.close()
+
+
+def test_async_client_subscription():
+    import asyncio
+
+    with serve() as (serving, handle):
+        oracle = NaiveRecomputeEngine(PATH_QUERY)
+        oracle.load(make_database())
+
+        async def scenario():
+            clients = [
+                await AsyncEngineClient.connect("127.0.0.1", handle.port)
+                for _ in range(5)
+            ]
+            subs = [await client.subscribe() for client in clients]
+            rng = random.Random(1)
+            inserted = []
+            final = 0
+            for _ in range(8):
+                batch = mixed_batch(rng, inserted)
+                final = await clients[0].apply_batch(batch)
+                for update in batch:
+                    oracle.update(update.relation, update.tuple, update.multiplicity)
+            waits = await asyncio.gather(
+                *(sub.wait_for_version(final, 20.0) for sub in subs)
+            )
+            assert all(waits)
+            for sub in subs:
+                assert sub.result == oracle.result()
+            for client in clients:
+                await client.close()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# metrics and introspection
+# ----------------------------------------------------------------------
+def test_metrics_over_http_and_op():
+    with serve() as (serving, handle):
+        with EngineClient("127.0.0.1", handle.port) as client:
+            client.apply_batch([Update("R", (0, 0), 1)])
+            client.read()
+            text = client.metrics()
+            for needle in (
+                "# TYPE repro_engine_version gauge",
+                "repro_serving_batches_applied 1",
+                "repro_serving_reads_served",
+                "repro_rebalance_batches",
+                "repro_workload_update_events",
+                "repro_net_connections_current 1",
+            ):
+                assert needle in text, f"{needle!r} missing:\n{text}"
+            http = urllib.request.urlopen(
+                f"http://127.0.0.1:{handle.port}/metrics", timeout=10
+            )
+            assert http.status == 200
+            assert "version=0.0.4" in http.headers["Content-Type"]
+            assert "repro_engine_version" in http.read().decode()
+            with pytest.raises(urllib.request.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{handle.port}/nope", timeout=10
+                )
+            stats = client.server_stats()
+            assert stats["net"]["http_requests"] >= 1
+            assert stats["serving"]["batches_applied"] == 1
+            assert stats["version"] == serving.engine.version
+
+
+def test_server_survives_garbage_bytes():
+    with serve() as (_, handle):
+        sock = socket.create_connection(("127.0.0.1", handle.port), 5)
+        sock.sendall(b"\x00\x00\x00\x05notjs")
+        sock.close()
+        # and a clean client still works afterwards
+        with EngineClient("127.0.0.1", handle.port) as client:
+            assert client.ping()["protocol"] == 1

@@ -1,6 +1,6 @@
 """Benchmark gate: re-run the asserted throughput claims so they cannot rot.
 
-Five benchmark modules assert headline performance ratios and record their
+Six benchmark modules assert headline performance ratios and record their
 tables under ``benchmarks/results/``:
 
 * ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
@@ -10,7 +10,10 @@ tables under ``benchmarks/results/``:
 * ``bench_adaptive``           — adaptive ε ≥ 2× the worst fixed ε and
   within 20% of the best fixed ε on ``phase_shift``;
 * ``bench_durability``         — WAL-on batched ingestion ≤ 1.3× per tuple,
-  checkpointed recovery ≤ 0.5× replaying the whole WAL.
+  checkpointed recovery ≤ 0.5× replaying the whole WAL;
+* ``bench_subscriptions``      — every one of 200 concurrent push
+  subscribers reproduces the oracle from per-commit deltas (ratio 1.0),
+  with per-subscriber queue memory bounded under backpressure.
 
 Committed result files are claims about the code, and nothing in the unit
 suite re-checks them.  This gate replays the benchmark assertions::
@@ -49,6 +52,7 @@ GATED_BENCHMARKS = (
     "benchmarks/bench_concurrent_serving.py",
     "benchmarks/bench_adaptive.py",
     "benchmarks/bench_durability.py",
+    "benchmarks/bench_subscriptions.py",
 )
 
 TRAJECTORY_FILE = REPO_ROOT / "BENCH_trajectory.json"

@@ -1,0 +1,169 @@
+"""Networked-serving smoke test: one scripted client session, oracle-checked.
+
+Boots an :class:`~repro.net.server.EngineTCPServer` on an ephemeral port
+(fronting a dynamic engine on a small two-relation database), runs one
+scripted :class:`~repro.net.client.EngineClient` session —
+
+1. handshake (``ping``) and a paged snapshot enumeration,
+2. one subscription,
+3. a burst of mixed insert/delete batches applied through the wire,
+4. a point lookup and a ``/metrics`` scrape over plain HTTP —
+
+and checks every served artifact against a
+:class:`~repro.baselines.naive.NaiveRecomputeEngine` oracle: the paged
+snapshot equals the oracle's state at capture, the subscription's pushed
+deltas *replayed from the initial result* reproduce the oracle at every
+version stamp, and the final mirrored state equals the oracle's final
+state.  Exit status 0 on success; any divergence raises.
+
+Wired into ``make serve-smoke`` (and thereby ``make test``/CI)::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines.naive import NaiveRecomputeEngine  # noqa: E402
+from repro.core.api import HierarchicalEngine  # noqa: E402
+from repro.core.serving import EngineServer  # noqa: E402
+from repro.data.database import Database  # noqa: E402
+from repro.data.update import Update  # noqa: E402
+from repro.net import EngineClient, ServerConfig, ServerThread  # noqa: E402
+
+QUERY = "Q(A, C) = R(A, B), S(B, C)"
+DOMAIN = 10
+BATCHES = 30
+BATCH_SIZE = 8
+
+
+def make_database(seed: int = 11, rows: int = 80) -> Database:
+    database = Database()
+    database.create_relation("R", ("A", "B"))
+    database.create_relation("S", ("B", "C"))
+    rng = random.Random(seed)
+    for _ in range(rows):
+        database.relation("R").apply_delta(
+            (rng.randrange(DOMAIN), rng.randrange(DOMAIN)), 1
+        )
+        database.relation("S").apply_delta(
+            (rng.randrange(DOMAIN), rng.randrange(DOMAIN)), 1
+        )
+    return database
+
+
+def scripted_session() -> None:
+    engine = HierarchicalEngine(QUERY, epsilon=0.5).load(make_database())
+    oracle = NaiveRecomputeEngine(QUERY)
+    oracle.load(make_database())
+    serving = EngineServer(engine, mode="snapshot")
+    with ServerThread(serving, ServerConfig()) as handle:
+        with EngineClient("127.0.0.1", handle.port) as client:
+            hello = client.ping()
+            assert hello["query"] == str(engine.query), hello
+            print(f"serve-smoke: connected to {hello['query']}")
+
+            # 1. paged snapshot enumeration vs the oracle
+            with client.open_snapshot() as snap:
+                paged = snap.result(page_size=13)
+                assert paged == oracle.result(), "paged snapshot diverged"
+                if paged:
+                    probe = next(iter(paged))
+                    assert snap.lookup(probe) == paged[probe]
+            print(f"serve-smoke: paged snapshot ok ({len(paged)} tuples)")
+
+            # 2. subscribe, 3. drive mixed batches through the wire
+            subscription = client.subscribe()
+            initial_version = subscription.version
+            initial_result = dict(subscription.result())
+            assert initial_result == oracle.result(), "initial result diverged"
+
+            rng = random.Random(77)
+            inserted = []
+            oracle_trajectory = {}
+            final_version = initial_version
+            for _ in range(BATCHES):
+                batch = []
+                for _ in range(BATCH_SIZE):
+                    if inserted and rng.random() < 0.4:
+                        relation, tup = inserted.pop(rng.randrange(len(inserted)))
+                        batch.append(Update(relation, tup, -1))
+                    else:
+                        relation = rng.choice(("R", "S"))
+                        tup = (rng.randrange(DOMAIN), rng.randrange(DOMAIN))
+                        inserted.append((relation, tup))
+                        batch.append(Update(relation, tup, 1))
+                final_version = client.apply_batch(batch)
+                for update in batch:
+                    oracle.update(update.relation, update.tuple, update.multiplicity)
+                oracle_trajectory[final_version] = oracle.result()
+
+            assert subscription.wait_for_version(final_version, timeout=30.0), (
+                f"subscription stuck at version {subscription.version} "
+                f"< {final_version}"
+            )
+            assert subscription.result() == oracle.result(), (
+                "subscription state diverged from the oracle"
+            )
+
+            # replay the pushed deltas from the initial result: the mirror
+            # must pass through the oracle's state at every version stamp
+            replay = dict(initial_result)
+            checked = 0
+            for kind, version, pairs in subscription.state.events:
+                assert kind == "delta", f"unexpected {kind} push in smoke run"
+                for tup, mult in pairs:
+                    tup = tuple(tup)
+                    updated = replay.get(tup, 0) + mult
+                    if updated:
+                        replay[tup] = updated
+                    else:
+                        replay.pop(tup, None)
+                if version in oracle_trajectory:
+                    assert replay == oracle_trajectory[version], (
+                        f"pushed deltas diverged from oracle at version {version}"
+                    )
+                    checked += 1
+            assert checked == BATCHES, f"only {checked}/{BATCHES} versions checked"
+            print(
+                f"serve-smoke: subscription ok — {BATCHES} pushed deltas "
+                f"match the oracle at every version stamp"
+            )
+
+            # 4. point lookup + metrics over plain HTTP on the same port
+            if oracle.result():
+                probe = next(iter(oracle.result()))
+                assert client.lookup(probe) == oracle.result()[probe]
+            text = urllib.request.urlopen(
+                f"http://127.0.0.1:{handle.port}/metrics", timeout=10
+            ).read().decode("utf-8")
+            for needle in (
+                "repro_engine_version",
+                "repro_serving_batches_applied",
+                "repro_net_deltas_pushed",
+            ):
+                assert needle in text, f"{needle} missing from /metrics"
+            stats = client.server_stats()
+            assert stats["net"]["deltas_pushed"] >= BATCHES
+            print(
+                "serve-smoke: metrics ok "
+                f"({len(text.splitlines())} exposition lines, "
+                f"{stats['net']['deltas_pushed']} deltas pushed)"
+            )
+    engine.close()
+
+
+def main() -> int:
+    scripted_session()
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
