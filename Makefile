@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-gate docs-check install-dev
+.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-reshard bench-gate docs-check install-dev
 
 ## Tier-1 verification: the coverage gate first — it runs the full test
 ## suite exactly once (fail-fast, under the line collector when pytest-cov
@@ -71,6 +71,11 @@ bench-adaptive:
 ## bounded queue memory under a deliberately slow subscriber.
 bench-subscriptions:
 	$(PY) -m pytest benchmarks/bench_subscriptions.py -q
+
+## Elastic-resharding benchmark: online 2->4 split under a live writer
+## (stall bounded, post-reshard throughput vs a fresh 4-shard fleet).
+bench-reshard:
+	$(PY) -m pytest benchmarks/bench_reshard.py -q
 
 ## Re-run every asserted benchmark claim at reduced scale (the CI gate).
 bench-gate:

@@ -8,15 +8,21 @@ per-operation costs; a :class:`CostModel` built on
 ``plan.expected_exponents(ε)`` predicts what each candidate ε would cost
 under that mix; and an :class:`AdaptiveController` retunes the engine —
 via :meth:`repro.core.api.HierarchicalEngine.retune`, one major-rebalance
-pass — whenever the predicted win clears a hysteresis bar.  See
-``docs/architecture.md`` §11 for the full design, including when
-adaptation loses.
+pass — whenever the predicted win clears a hysteresis bar.  The same controller
+optionally drives a second knob: a MAAS-style
+:class:`ShardCapacityConfig` (per-shard total/used/available with an
+over-commit ratio) proposes online shard-count changes for
+:class:`~repro.sharding.engine.ShardedEngine` under the shared cooldown
+discipline.  See ``docs/architecture.md`` §11 for the full design,
+including when adaptation loses, and §14 for resharding.
 """
 
 from repro.adaptive.controller import (
     DEFAULT_EPSILON_GRID,
     AdaptiveController,
     CostModel,
+    ShardCapacity,
+    ShardCapacityConfig,
 )
 from repro.adaptive.telemetry import WorkloadTelemetry
 
@@ -24,5 +30,7 @@ __all__ = [
     "AdaptiveController",
     "CostModel",
     "DEFAULT_EPSILON_GRID",
+    "ShardCapacity",
+    "ShardCapacityConfig",
     "WorkloadTelemetry",
 ]

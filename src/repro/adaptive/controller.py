@@ -30,11 +30,63 @@ committed batch for hands-off auto-retuning.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.adaptive.telemetry import WorkloadTelemetry
 
 DEFAULT_EPSILON_GRID: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class ShardCapacityConfig:
+    """The MAAS-style capacity policy for shard-count proposals.
+
+    A shard nominally holds ``shard_capacity`` base tuples; like MAAS
+    pod accounting (total/used/available with an over-commit ratio), the
+    *admitted* per-shard total is ``shard_capacity * over_commit_ratio``
+    — the slack absorbs transient skew so a brief hot shard does not
+    trigger a fleet rebuild.  A split is proposed when any shard's used
+    exceeds its over-committed total; a merge when the whole fleet's
+    used would fit in ``current_shards - 1`` shards with ``shrink_margin``
+    headroom to spare (the asymmetry is deliberate: a reshard costs a
+    full re-route, so shrinking must be clearly safe, not merely
+    possible).
+    """
+
+    shard_capacity: int
+    over_commit_ratio: float = 1.5
+    min_shards: int = 1
+    max_shards: int = 64
+    shrink_margin: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.shard_capacity <= 0:
+            raise ValueError("shard_capacity must be a positive tuple count")
+        if self.over_commit_ratio < 1.0:
+            raise ValueError("over_commit_ratio must be >= 1.0")
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if not 0.0 < self.shrink_margin <= 1.0:
+            raise ValueError("shrink_margin must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ShardCapacity:
+    """One shard's capacity accounting: total / used / available."""
+
+    shard: int
+    total: int
+    used: int
+
+    @property
+    def available(self) -> int:
+        return self.total - self.used
+
+    @property
+    def over_committed(self) -> bool:
+        return self.used > self.total
 
 
 class CostModel:
@@ -77,13 +129,21 @@ class CostModel:
 
 
 class AdaptiveController:
-    """Propose (and optionally apply) ε changes with hysteresis.
+    """Propose (and optionally apply) ε and shard-count moves.
 
     ``hysteresis`` is the minimum predicted cost ratio — current over best
     candidate — before a retune is worth its preprocessing pass;
     ``cooldown`` is the minimum number of telemetry events between
-    consecutive retunes (and before the first), so one noisy observation
-    cannot thrash the engine.
+    consecutive structural moves (and before the first), so one noisy
+    observation cannot thrash the engine.  When ``capacity`` names a
+    :class:`ShardCapacityConfig` and the engine is sharded, the same
+    controller also proposes shard-count changes from the same telemetry
+    loop — one controller, two knobs — under the *shared* cooldown
+    window: a retune and a reshard are both structural moves, and two in
+    one window would double-pay the rebuild they each imply.  The
+    capacity knob carries its own damping in place of the cost-ratio
+    hysteresis: the over-commit ratio absorbs transient skew before a
+    split, and the shrink margin demands clear headroom before a merge.
     """
 
     def __init__(
@@ -93,6 +153,7 @@ class AdaptiveController:
         hysteresis: float = 1.5,
         cooldown: int = 16,
         telemetry: Optional[WorkloadTelemetry] = None,
+        capacity: Optional[ShardCapacityConfig] = None,
     ) -> None:
         grid = tuple(sorted(set(float(e) for e in epsilons)))
         if not grid:
@@ -114,10 +175,20 @@ class AdaptiveController:
                 "the engine was built with telemetry=False; pass a "
                 "WorkloadTelemetry to the controller (and feed it) instead"
             )
+        if capacity is not None and not hasattr(engine, "shard_sizes"):
+            raise ValueError(
+                "a capacity policy needs a sharded engine (shard_sizes); "
+                f"got {type(engine).__name__}"
+            )
+        self.capacity = capacity
         self.model = CostModel(engine.plan)
         self.retunes_applied = 0
+        self.reshards_applied = 0
         self.history: List[Tuple[int, float]] = []
+        #: Every applied reshard, as ``(telemetry events, new shard count)``.
+        self.reshard_history: List[Tuple[int, int]] = []
         self._events_at_last_retune = 0
+        self._events_at_last_reshard = 0
 
     # ------------------------------------------------------------------
     def _engine_size(self) -> int:
@@ -143,8 +214,7 @@ class AdaptiveController:
         the current ε by the hysteresis factor, or when the winner *is*
         the current ε.
         """
-        events = self.telemetry.events
-        if events - self._events_at_last_retune < self.cooldown:
+        if self._in_cooldown():
             return None
         costs = self.predicted_costs()
         current = self.engine.epsilon
@@ -165,3 +235,71 @@ class AdaptiveController:
         self._events_at_last_retune = self.telemetry.events
         self.history.append((self.telemetry.events, epsilon))
         return epsilon
+
+    # ------------------------------------------------------------------
+    # the capacity knob (shard count)
+    # ------------------------------------------------------------------
+    def _in_cooldown(self) -> bool:
+        """Inside the shared window since the last structural move?"""
+        last_move = max(self._events_at_last_retune, self._events_at_last_reshard)
+        return self.telemetry.events - last_move < self.cooldown
+
+    def capacity_report(self) -> List[ShardCapacity]:
+        """Per-shard total/used/available under the capacity policy."""
+        if self.capacity is None:
+            raise ValueError("this controller was built without a capacity policy")
+        total = int(self.capacity.shard_capacity * self.capacity.over_commit_ratio)
+        return [
+            ShardCapacity(shard=index, total=total, used=int(used))
+            for index, used in enumerate(self.engine.shard_sizes())
+        ]
+
+    def propose_shards(self) -> Optional[int]:
+        """The shard count the fleet should move to, or None to stay put.
+
+        Pure (no engine mutation).  Returns None without a capacity
+        policy, inside the shared cooldown window, or when the fleet is
+        inside its admitted envelope: a *split* needs some shard over
+        its over-committed total, a *merge* needs the whole fleet to fit
+        in one fewer shard with the shrink margin to spare.
+        """
+        if self.capacity is None or self._in_cooldown():
+            return None
+        policy = self.capacity
+        sizes = [int(size) for size in self.engine.shard_sizes()]
+        current = len(sizes)
+        used = sum(sizes)
+        admitted = policy.shard_capacity * policy.over_commit_ratio
+        if any(size > admitted for size in sizes):
+            # Grow to the count that fits the fleet at *nominal* capacity
+            # (not the over-committed total: landing back inside the
+            # slack is the point), at least one shard more than now.
+            target = max(current + 1, math.ceil(used / policy.shard_capacity))
+            target = min(target, policy.max_shards)
+            return target if target > current else None
+        comfortable = policy.shard_capacity * policy.shrink_margin
+        if current > policy.min_shards and used <= comfortable * (current - 1):
+            target = max(policy.min_shards, math.ceil(used / comfortable) or 1)
+            target = min(target, current - 1)
+            return target if target < current else None
+        return None
+
+    def record_reshard(self, new_count: int) -> None:
+        """Note an applied reshard (resets the shared cooldown window).
+
+        Split out from :meth:`maybe_reshard` so a serving layer driving
+        the three-phase protocol itself can keep the controller's
+        bookkeeping exact.
+        """
+        self.reshards_applied += 1
+        self._events_at_last_reshard = self.telemetry.events
+        self.reshard_history.append((self.telemetry.events, new_count))
+
+    def maybe_reshard(self) -> Optional[int]:
+        """Apply :meth:`propose_shards`; returns the count applied or None."""
+        target = self.propose_shards()
+        if target is None:
+            return None
+        self.engine.reshard(target)
+        self.record_reshard(target)
+        return target

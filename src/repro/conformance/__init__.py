@@ -37,6 +37,7 @@ from repro.conformance.metamorphic import (
     check_batch_permutation_invariance,
     check_insert_delete_noop,
     check_partition_union,
+    check_reshard_equivalence,
     check_retune_equivalence,
     check_shard_merge,
     check_snapshot_isolation,
@@ -72,6 +73,7 @@ __all__ = [
     "check_insert_delete_noop",
     "check_partition_union",
     "check_query_conformance",
+    "check_reshard_equivalence",
     "check_retune_equivalence",
     "check_shard_merge",
     "check_snapshot_isolation",

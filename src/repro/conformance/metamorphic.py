@@ -27,7 +27,12 @@ DBToaster lineage classically check):
 * **retuning is invisible** — switching the live ε after an interleaved
   prefix (``engine.retune``) must leave the engine result- and
   order-equivalent to a fresh engine built at the new ε, through the whole
-  remaining stream, for the single engine and the sharded facade alike.
+  remaining stream, for the single engine and the sharded facade alike;
+* **resharding is invisible** — elastically moving a live fleet from ``k``
+  to ``k′`` shards (``ShardedEngine.reshard``) must leave it result- and
+  order-equivalent to a fresh ``k′``-shard deployment fed the same stream,
+  through the whole remaining suffix, while a snapshot captured *before*
+  the reshard keeps enumerating its exact capture forever.
 
 Each check takes an ``engine_factory`` so it runs identically against
 :class:`~repro.core.api.HierarchicalEngine` at any ε and against every
@@ -287,6 +292,86 @@ def check_retune_equivalence(
         )
         sharded.check_invariants()
         sharded.close()
+        fresh.close()
+
+
+def check_reshard_equivalence(
+    query: str,
+    epsilon: float,
+    database: Database,
+    updates: Sequence[Update],
+    shard_counts: Sequence[int] = (1, 2, 4, 7),
+    segments: int = 3,
+) -> None:
+    """``reshard(k′)`` must equal a fresh ``k′`` fleet — order included.
+
+    For every adjacent pair of shard counts (cyclically, so both splits
+    and merges are exercised): a fleet at ``k`` ingests an interleaved
+    prefix of batches, captures a snapshot, and reshards to ``k′``; from
+    that point on it must be indistinguishable from a fresh ``k′``-shard
+    deployment fed the same prefix — compared by exact merged enumeration
+    (canonical order makes sequence equality cover result, multiplicities,
+    and order at once) right after the swap and again after every suffix
+    batch.  The reshard itself ticks the facade version exactly once,
+    like a retune.  The held snapshot must still enumerate its exact
+    pre-reshard capture after the swap *and* after the suffix mutated the
+    new fleet underneath it — the retired fleet stays alive precisely as
+    long as pinned readers need it.  Unshardable queries are skipped (the
+    sharded gate rejects them before a fleet ever exists).
+    """
+    single = HierarchicalEngine(query, epsilon=epsilon)
+    if not is_shardable(single.query):
+        return
+    updates = list(updates)
+    batches = _segments(updates, segments)
+    cut = max(1, len(batches) // 2)
+    prefix, suffix = batches[:cut], batches[cut:]
+    counts = list(shard_counts)
+    for index, before in enumerate(counts):
+        after = counts[(index + 1) % len(counts)]
+        if after == before:
+            continue
+        resharded = ShardedEngine(
+            query, shards=before, epsilon=epsilon, executor="serial"
+        )
+        resharded.load(database)
+        for batch in prefix:
+            resharded.apply_batch(batch)
+        held = resharded.snapshot()
+        held_sequence = list(held.enumerate())
+        version_before = resharded.version
+        resharded.reshard(after)
+        assert resharded.shards == after, (
+            f"reshard({after}) left the facade reporting {resharded.shards}"
+        )
+        assert resharded.version == version_before + 1, (
+            f"reshard {before}->{after} ticked the version from "
+            f"{version_before} to {resharded.version}, expected exactly one"
+        )
+        fresh = ShardedEngine(
+            query, shards=after, epsilon=epsilon, executor="serial"
+        )
+        fresh.load(database)
+        for batch in prefix:
+            fresh.apply_batch(batch)
+        assert list(resharded.enumerate()) == list(fresh.enumerate()), (
+            f"reshard {before}->{after}: merged enumeration diverges from a "
+            "fresh deployment at the new count"
+        )
+        for batch in suffix:
+            resharded.apply_batch(batch)
+            fresh.apply_batch(batch)
+            assert list(resharded.enumerate()) == list(fresh.enumerate()), (
+                f"reshard {before}->{after}: resharded and fresh fleets "
+                "diverged while ingesting the suffix"
+            )
+        assert list(held.enumerate()) == held_sequence, (
+            f"reshard {before}->{after}: a snapshot captured before the "
+            "reshard no longer enumerates its capture"
+        )
+        held.close()
+        resharded.check_invariants()
+        resharded.close()
         fresh.close()
 
 

@@ -34,7 +34,11 @@ At one case-deterministic checkpoint, every dynamic IVM engine (single and
 sharded) additionally **retunes** to a different ε mid-case
 (:meth:`~repro.core.api.HierarchicalEngine.retune`) — so every fuzzed
 workload also exercises live ε switching, including the interaction with
-snapshots held across the retune.
+snapshots held across the retune.  At a second case-deterministic
+checkpoint every sharded runner **reshards** to a different count from
+:data:`SHARD_COUNTS` (:meth:`~repro.sharding.ShardedEngine.reshard`), so
+elastic split/merge is diffed against the oracle on every fuzzed workload
+too, snapshots held across the swap included.
 
 Non-hierarchical cases are differential too: the planner must *reject* the
 query (the fragment gate is part of the contract), after which the
@@ -446,6 +450,21 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
     digest = zlib.crc32(case.to_json().encode("utf-8"))
     retune_checkpoint = 1 + digest % len(segments) if segments else None
 
+    # Reshard rehearsal: at a second case-deterministic checkpoint (kept
+    # distinct from the retune checkpoint whenever the case has more than
+    # one segment), every sharded runner elastically reshards to a
+    # different count from SHARD_COUNTS.  All the probes below then apply
+    # to the post-swap fleet — result and delta diffs against the oracle,
+    # enumeration invariants, cross-shard placement invariants, and
+    # snapshot isolation: the snapshot held since the previous checkpoint
+    # stays pinned on the *retired* fleet and must still enumerate its
+    # capture-time oracle result.
+    reshard_checkpoint = None
+    if segments:
+        reshard_checkpoint = 1 + (digest // 7) % len(segments)
+        if reshard_checkpoint == retune_checkpoint and len(segments) > 1:
+            reshard_checkpoint = 1 + (reshard_checkpoint % len(segments))
+
     oracle_previous: ResultDict = {}
     checkpoint = 0
     # checkpoint 0 observes the preprocessing output, before any update
@@ -461,6 +480,16 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                         runner.engine.retune(
                             RETUNE_EPSILONS[(digest + offset) % len(RETUNE_EPSILONS)]
                         )
+            if index == reshard_checkpoint:
+                for offset, runner in enumerate(runners):
+                    engine = runner.engine
+                    if isinstance(engine, ShardedEngine):
+                        target = SHARD_COUNTS[(digest + offset) % len(SHARD_COUNTS)]
+                        if target == engine.shards:
+                            target = SHARD_COUNTS[
+                                (digest + offset + 1) % len(SHARD_COUNTS)
+                            ]
+                        engine.reshard(target)
         truth = dict(oracle.result())
         truth_delta = _delta(oracle_previous, truth)
         for runner in runners:

@@ -66,6 +66,7 @@ class ServingStats:
     batches_applied: int = 0
     reads_served: int = 0
     retunes_applied: int = 0
+    reshards_applied: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def count_batch(self) -> None:
@@ -79,6 +80,10 @@ class ServingStats:
     def count_retune(self) -> None:
         with self._lock:
             self.retunes_applied += 1
+
+    def count_reshard(self) -> None:
+        with self._lock:
+            self.reshards_applied += 1
 
 
 class _PublishedVersion:
@@ -169,6 +174,10 @@ class EngineServer:
         # new engine version and the commit's net result delta.  The first
         # registration turns the engine's result-delta capture on.
         self._commit_listeners: List[CommitListener] = []
+        # Gates the controller-driven auto-reshard: set under the write
+        # lock when a proposal is accepted, cleared when the reshard
+        # finishes, so concurrent commits never start a second one.
+        self._resharding = False
 
     # ------------------------------------------------------------------
     # writer side
@@ -213,11 +222,25 @@ class EngineServer:
         makes them auto-retune and appear in :class:`ServingStats` like any
         batch (they previously bypassed all three).
         """
+        pending_reshard: Optional[int] = None
         with self._write_lock:
             ingest()
             if self.controller is not None:
                 if self.controller.maybe_retune() is not None:
                     self.stats.count_retune()
+                # The capacity knob: accept at most one proposal at a time
+                # (the flag is only ever set under this lock) and execute
+                # it *after* the commit releases the lock — the expensive
+                # build phase must not stall the writer.
+                propose = getattr(self.controller, "propose_shards", None)
+                if (
+                    propose is not None
+                    and not self._resharding
+                    and hasattr(self.engine, "begin_reshard")
+                ):
+                    pending_reshard = propose()
+                    if pending_reshard is not None:
+                        self._resharding = True
             if self.mode == "snapshot":
                 self._publish_locked()
             if self._commit_listeners:
@@ -227,6 +250,12 @@ class EngineServer:
                 for listener in self._commit_listeners:
                     listener(version, delta)
         self.stats.count_batch()
+        if pending_reshard is not None:
+            try:
+                self.reshard(pending_reshard)
+                self.controller.record_reshard(pending_reshard)
+            finally:
+                self._resharding = False
 
     def apply_batch(self, updates) -> None:
         """Ingest one consolidated batch, then publish the new version."""
@@ -240,6 +269,44 @@ class EngineServer:
         ``stats.count_batch()`` (a single update is a commit of one).
         """
         self._commit(lambda: self.engine.apply(update))
+
+    def reshard(self, new_count: int) -> None:
+        """Change the sharded engine's shard count while serving.
+
+        Drives the engine's three-phase protocol so the write lock is
+        held only for the brief cut and swap phases — the expensive build
+        (re-route every shard's base data into a fresh fleet) runs with
+        the lock *released*, the writer keeps committing, and the engine
+        buffers the tail for replay at the swap.  Subscribers ride
+        through exactly like a retune: the post-swap publish carries the
+        reshard's version tick with an **empty** delta (the result is
+        unchanged by construction — a reshard moves tuples between
+        shards, never in or out of the result), so mirrors advance their
+        version stamp without phantom updates.  Readers pinned on the
+        pre-reshard snapshot finish against the retired fleet.
+        """
+        if not hasattr(self.engine, "begin_reshard"):
+            raise ValueError(
+                "reshard needs a sharded engine; "
+                f"got {type(self.engine).__name__}"
+            )
+        with self._write_lock:
+            plan = self.engine.begin_reshard(new_count)
+        try:
+            self.engine.build_reshard(plan)
+        except BaseException:
+            with self._write_lock:
+                self.engine.abort_reshard(plan)
+            raise
+        with self._write_lock:
+            self.engine.finish_reshard(plan)
+            if self.mode == "snapshot":
+                self._publish_locked()
+            if self._commit_listeners:
+                version = self.engine.version
+                for listener in self._commit_listeners:
+                    listener(version, {})
+        self.stats.count_reshard()
 
     def start_writer(self, batches: Iterable) -> threading.Thread:
         """Run a writer loop ingesting ``batches`` on a background thread.

@@ -43,6 +43,10 @@ SITES = (
     "checkpoint-fsync",  # after the temp file is flushed, before fsync
     "checkpoint-rename", # before the atomic os.replace into place
     "checkpoint-cleanup",# after the rename, before old files are rotated
+    "reshard-prepare",   # new fleet built, before the buffered tail replays
+    "reshard-tail",      # between two tail events during reshard replay
+    "reshard-barrier",   # before the fleet-meta os.replace (the barrier)
+    "reshard-swap",      # after the barrier rename, before old-fleet cleanup
 )
 
 #: Environment variable read at import: ``"<site>:<hits>"``, e.g.

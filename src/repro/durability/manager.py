@@ -35,6 +35,7 @@ duck-typed.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -74,6 +75,68 @@ class DurabilityConfig:
     def for_shard(self, index: int) -> "DurabilityConfig":
         """The same policy in a per-shard subdirectory ``shard-<index>``."""
         return replace(self, directory=os.path.join(self.directory, f"shard-{index}"))
+
+    def for_epoch(self, epoch: int) -> "DurabilityConfig":
+        """The same policy in the fleet-epoch subdirectory ``epoch-<epoch>``.
+
+        Epoch 0 is the pre-reshard layout (``shard-<i>`` directly under
+        the root), kept for backward compatibility with PR 6 deployments;
+        every reshard bumps the epoch and moves the fleet's per-shard
+        directories under ``epoch-<epoch>/``.
+        """
+        if epoch == 0:
+            return self
+        return replace(self, directory=os.path.join(self.directory, f"epoch-{epoch}"))
+
+
+#: Name of the fleet barrier record at the root of a sharded durability
+#: directory.  Its atomic rename *is* the reshard commit point.
+FLEET_META_NAME = "fleet.json"
+
+
+def read_fleet_meta(directory: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read the fleet barrier record, or ``None`` when absent/unreadable.
+
+    An unreadable record is treated as absent: the write is atomic
+    (tmp + ``os.replace``), so a torn file can only be a pre-barrier
+    stray tmp that leaked into place by an outside force — recovery then
+    falls back to the constructed shard count, which is the epoch-0
+    behavior.
+    """
+    path = Path(directory) / FLEET_META_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(meta, dict) or "shards" not in meta:
+        return None
+    return meta
+
+
+def write_fleet_meta(
+    directory: Union[str, Path], meta: Dict[str, Any], fsync: bool = True
+) -> Path:
+    """Atomically publish the fleet barrier record (the reshard barrier).
+
+    The record becomes visible only at the ``os.replace`` — a crash
+    before it leaves the old record (or none) in place, so recovery
+    lands at exactly the old fleet; a crash after it lands at exactly
+    the new fleet.  ``crash_point("reshard-barrier")`` models a death at
+    the instant before the rename.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / FLEET_META_NAME
+    tmp = directory / (FLEET_META_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(meta, sort_keys=True))
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    crash_point("reshard-barrier")
+    os.replace(tmp, path)
+    return path
 
 
 def coerce_config(

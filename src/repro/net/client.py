@@ -281,6 +281,16 @@ class EngineClient:
         reply = self._request("apply_update", update=wire_updates([update])[0])
         return int(reply["version"])
 
+    def reshard(self, shards: int) -> int:
+        """Reshard the served fleet online; returns the post-swap version.
+
+        Blocks until the swap commits; open subscriptions ride through
+        (they observe the post-reshard version with an empty delta,
+        exactly like a retune).
+        """
+        reply = self._request("reshard", shards=shards)
+        return int(reply["version"])
+
     def open_snapshot(self) -> RemoteSnapshot:
         reply = self._request("snapshot_open")
         return RemoteSnapshot(self, int(reply["snap"]), int(reply["version"]))

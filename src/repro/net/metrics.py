@@ -99,6 +99,7 @@ _SERVING_HELPS = {
     "batches_applied": "Commits applied through the serving commit path.",
     "reads_served": "Read tickets served.",
     "retunes_applied": "Auto-retunes triggered by the adaptive controller.",
+    "reshards_applied": "Online reshards applied through the serving layer.",
 }
 
 _NET_HELPS = {
@@ -153,6 +154,17 @@ def render_server_metrics(
             )
         )
 
+    shards = getattr(engine, "shards", None)
+    if shards is not None:
+        samples.append(
+            (
+                "repro_engine_shards",
+                "gauge",
+                "Current shard count of the served fleet.",
+                float(shards),
+            )
+        )
+
     telemetry = getattr(engine, "telemetry", None)
     if telemetry is not None:
         samples.extend(
@@ -187,6 +199,7 @@ def render_server_metrics(
                 "batches_applied": stats.batches_applied,
                 "reads_served": stats.reads_served,
                 "retunes_applied": stats.retunes_applied,
+                "reshards_applied": stats.reshards_applied,
             },
             {key: "counter" for key in _SERVING_HELPS},
             _SERVING_HELPS,

@@ -390,19 +390,52 @@ class EngineTCPServer:
             await self._teardown_session(session)
 
     async def _teardown_session(self, session: _Session) -> None:
+        """Release everything a session holds; must survive *any* exit path.
+
+        Runs after clean EOFs but also after reader-task death, mid-page
+        disconnects, server shutdown (which *cancels* connection tasks —
+        ``CancelledError`` is not an ``Exception`` and used to abandon
+        the remaining handles), and pool teardown (``_run`` then fails).
+        Every engine-side snapshot handle must be released regardless:
+        they pin shard-local snapshot registries and copy-on-write state,
+        so a crash-looping client that leaks a few per connection would
+        otherwise grow the engine without bound while new sessions are
+        still admitted against fresh limit counters.
+        """
         for sub in list(session.subscribers.values()):
             self._drop_subscriber(sub)
         session.subscribers.clear()
-        for sid, snapshot in list(session.snapshots.items()):
-            session.snapshots.pop(sid, None)
-            session.iterators.pop(sid, None)
+        remaining = list(session.snapshots.values())
+        session.snapshots.clear()
+        session.iterators.clear()
+        cancelled: Optional[BaseException] = None
+        while remaining:
+            snapshot = remaining.pop()
             try:
                 await self._run(snapshot.close)
-            except Exception:  # noqa: BLE001 - teardown is best effort
-                pass
+            except asyncio.CancelledError as exc:
+                # The task was cancelled mid-teardown: finish releasing
+                # synchronously (no more awaits), then re-raise.
+                cancelled = exc
+                self._close_snapshot_sync(snapshot)
+                for leftover in remaining:
+                    self._close_snapshot_sync(leftover)
+                remaining = []
+            except Exception:  # noqa: BLE001 - pool gone or close failed
+                self._close_snapshot_sync(snapshot)
         try:
             session.writer.close()
         except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        if cancelled is not None:
+            raise cancelled
+
+    @staticmethod
+    def _close_snapshot_sync(snapshot) -> None:
+        """Last-resort snapshot release on the caller's thread."""
+        try:
+            snapshot.close()
+        except Exception:  # noqa: BLE001 - nothing left to do with it
             pass
 
     def _drop_subscriber(self, sub: _Subscriber) -> None:
@@ -489,6 +522,7 @@ class EngineTCPServer:
             "mode": getattr(engine, "mode", None),
             "serving_mode": self.serving.mode,
             "epsilon": getattr(engine, "epsilon", None),
+            "shards": getattr(engine, "shards", 1),
             "version": getattr(engine, "version", 0),
         }
 
@@ -528,6 +562,23 @@ class EngineTCPServer:
         updates = unwire_updates([message.get("update")])
         await self._run(self.serving.apply_update, updates[0])
         return {"version": getattr(self.serving.engine, "version", 0)}
+
+    async def _op_reshard(self, session: _Session, message: Dict) -> Dict:
+        """Reshard the served fleet online; subscribers ride through it.
+
+        Runs on the pool like any write, so reads keep flowing during the
+        build phase; the serving layer publishes the post-swap version
+        with an empty delta (same contract as a retune).
+        """
+        shards = message.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards <= 0:
+            raise ProtocolError(f"shards must be a positive integer, got {shards!r}")
+        await self._run(self.serving.reshard, shards)
+        engine = self.serving.engine
+        return {
+            "shards": getattr(engine, "shards", 1),
+            "version": getattr(engine, "version", 0),
+        }
 
     # -- snapshot paging ------------------------------------------------
     async def _op_snapshot_open(self, session: _Session, message: Dict) -> Dict:
@@ -661,7 +712,9 @@ class EngineTCPServer:
                 "batches_applied": serving.batches_applied,
                 "reads_served": serving.reads_served,
                 "retunes_applied": serving.retunes_applied,
+                "reshards_applied": serving.reshards_applied,
             },
+            "shards": getattr(self.serving.engine, "shards", 1),
             "version": getattr(self.serving.engine, "version", 0),
             "latest_pushed_version": self.latest_version,
         }

@@ -20,7 +20,12 @@ See :mod:`repro.sharding.engine` for the facade,
 :mod:`repro.sharding.executor` for the serial / thread / process backends.
 """
 
-from repro.sharding.engine import SMALL_N_THRESHOLD, ShardedEngine, ShardMergeEnumerator
+from repro.sharding.engine import (
+    SMALL_N_THRESHOLD,
+    ShardedEngine,
+    ShardedSnapshot,
+    ShardMergeEnumerator,
+)
 from repro.sharding.executor import (
     EXECUTORS,
     ProcessExecutor,
@@ -39,5 +44,6 @@ __all__ = [
     "ShardMergeEnumerator",
     "ShardRouter",
     "ShardedEngine",
+    "ShardedSnapshot",
     "ThreadExecutor",
 ]

@@ -20,7 +20,13 @@ facade over a fleet of per-shard engines:
 * **snapshots** — ``snapshot`` captures every shard at a consistent
   version in one executor round and answers reads through the same k-way
   merge, so maintenance keeps flowing while readers enumerate an immutable
-  :class:`ShardedSnapshot` (see :mod:`repro.snapshot`).
+  :class:`ShardedSnapshot` (see :mod:`repro.snapshot`);
+* **resharding** — ``reshard(new_count)`` changes the shard count online:
+  a snapshot-consistent cut is exported, re-routed into a fresh fleet at
+  the new count, the tail of updates committed since the cut is replayed,
+  and the fleet swaps atomically — live snapshots stay pinned on the old
+  fleet, and durable deployments write a barrier record so ``recover()``
+  comes back at the new count (see ``docs/architecture.md`` §14).
 
 Why shard at all?  Each shard plans against its own (four-times-smaller, at
 four shards) database, so its heavy/light threshold ``M_shard^ε`` drops:
@@ -38,16 +44,25 @@ single engine's native enumeration order for the canonical one; see
 from __future__ import annotations
 
 import os
+import shutil
+import threading
 import time
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.adaptive.telemetry import WorkloadTelemetry
 from repro.core.planner import QueryPlan, coerce_query, plan_query
 from repro.data.database import Database
 from repro.data.schema import ValueTuple
 from repro.data.update import Update, UpdateBatch, validate_batch_size
-from repro.durability.manager import DurabilityConfig, coerce_config
+from repro.durability.crashpoints import SimulatedCrashError, crash_point
+from repro.durability.manager import (
+    FLEET_META_NAME,
+    DurabilityConfig,
+    coerce_config,
+    read_fleet_meta,
+    write_fleet_meta,
+)
 from repro.enumeration.union import merge_shards
 from repro.exceptions import (
     DurabilityError,
@@ -96,6 +111,104 @@ class ShardMergeEnumerator:
         return sum(1 for _ in self)
 
 
+class _FleetHandle:
+    """One shard fleet (executor + router) with pin-based retirement.
+
+    Mirrors the serving layer's ``_PublishedVersion`` close-once idiom: a
+    reshard retires the old fleet, but :class:`ShardedSnapshot`\\ s captured
+    before the swap hold pins and keep reading their per-shard
+    copy-on-write captures through the old executor; the executor shuts
+    down when the last pin drains.  ``load()``/``close()`` force-close
+    regardless of pins — snapshots from a replaced *load* already raise
+    :class:`StaleStateError` by generation, exactly as before resharding
+    existed.
+    """
+
+    __slots__ = (
+        "executor",
+        "router",
+        "executor_name",
+        "epoch",
+        "_lock",
+        "_pins",
+        "_retired",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        executor: ShardExecutor,
+        router: ShardRouter,
+        executor_name: str,
+        epoch: int,
+    ) -> None:
+        self.executor = executor
+        self.router = router
+        self.executor_name = executor_name
+        self.epoch = epoch
+        self._lock = threading.Lock()
+        self._pins = 0
+        self._retired = False
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pin(self) -> None:
+        with self._lock:
+            self._pins += 1
+
+    def unpin(self) -> None:
+        with self._lock:
+            self._pins -= 1
+            should_close = self._retired and self._pins <= 0 and not self._closed
+            if should_close:
+                self._closed = True
+        if should_close:
+            self.executor.close()
+
+    def retire(self) -> None:
+        """No new pins will arrive; close as soon as the held ones drain."""
+        with self._lock:
+            self._retired = True
+            should_close = self._pins <= 0 and not self._closed
+            if should_close:
+                self._closed = True
+        if should_close:
+            self.executor.close()
+
+    def force_close(self) -> None:
+        """Close now, pins or not (load()/close() semantics)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.executor.close()
+
+
+class _ReshardPlan:
+    """In-flight state of one reshard, threaded through the three phases.
+
+    Created by :meth:`ShardedEngine.begin_reshard` (the cut), filled in
+    by :meth:`ShardedEngine.build_reshard` (the new fleet), consumed by
+    :meth:`ShardedEngine.finish_reshard` (tail replay + barrier + swap).
+    """
+
+    __slots__ = ("new_count", "cut_version", "cut_epsilon", "payloads", "router", "fleet", "epoch")
+
+    def __init__(
+        self, new_count: int, cut_version: int, cut_epsilon: float, payloads: List[Any]
+    ) -> None:
+        self.new_count = new_count
+        self.cut_version = cut_version
+        self.cut_epsilon = cut_epsilon
+        self.payloads = payloads
+        self.router: Optional[ShardRouter] = None
+        self.fleet: Optional[_FleetHandle] = None
+        self.epoch = 0
+
+
 class ShardedSnapshot:
     """An immutable handle onto one version of a sharded deployment.
 
@@ -112,12 +225,19 @@ class ShardedSnapshot:
     def __init__(
         self,
         engine: "ShardedEngine",
+        fleet: _FleetHandle,
         snapshot_ids: Dict[int, int],
         shard_versions: Tuple[int, ...],
         version: int,
     ) -> None:
         self._engine = engine
         self._generation = engine._generation
+        # Pin the fleet the capture was taken on: a later reshard retires
+        # the fleet but cannot close it while this snapshot reads through
+        # it — the executor shuts down when the last pre-reshard snapshot
+        # closes (the COW/pin retirement contract).
+        self._fleet = fleet
+        fleet.pin()
         self._snapshot_ids = dict(snapshot_ids)
         self.shard_versions = shard_versions
         self.version = version
@@ -128,7 +248,11 @@ class ShardedSnapshot:
         if self._closed:
             raise StaleStateError("this sharded snapshot has been closed")
         self._engine._check_generation(self._generation)
-        return self._engine._require_loaded()
+        if self._fleet.closed:
+            raise StaleStateError(
+                "the shard fleet this snapshot was captured on has shut down"
+            )
+        return self._fleet.executor
 
     def enumerate(self) -> Iterator[Tuple[ValueTuple, int]]:
         """Merged canonical enumeration of the captured per-shard results."""
@@ -170,17 +294,19 @@ class ShardedSnapshot:
         if self._closed:
             return
         self._closed = True
-        if self._engine._generation != self._generation:
-            return  # the executor that held the shard snapshots is gone
-        executor = self._engine._executor
-        if executor is None:
-            return
-        executor.map(
-            {
-                shard: ("snap_release", snapshot_id)
-                for shard, snapshot_id in self._snapshot_ids.items()
-            }
-        )
+        fleet = self._fleet
+        try:
+            if self._engine._generation == self._generation and not fleet.closed:
+                fleet.executor.map(
+                    {
+                        shard: ("snap_release", snapshot_id)
+                        for shard, snapshot_id in self._snapshot_ids.items()
+                    }
+                )
+        finally:
+            # Always drop the pin — when this was the last pre-reshard
+            # snapshot on a retired fleet, the old executor closes here.
+            fleet.unpin()
 
     def __enter__(self) -> "ShardedSnapshot":
         return self
@@ -247,7 +373,25 @@ class ShardedEngine:
         # the shard-aware planner gate: raises for unshardable queries
         self.router = ShardRouter(self.query, shards, shard_key)
         self.shard_key = self.router.shard_key
+        # The caller's shard-key choice (None = planner-chosen), kept so a
+        # reshard builds its new router from the same constraint.
+        self._shard_key_choice = shard_key
         self._executor: Optional[ShardExecutor] = None
+        # The current fleet handle (executor + router + retirement pins)
+        # and the fleet epoch: 0 at load, +1 per completed reshard.  The
+        # epoch keys the durability directory layout (see
+        # DurabilityConfig.for_epoch) so a mid-reshard crash recovers at
+        # exactly the old or the new fleet, never a hybrid.
+        self._fleet: Optional[_FleetHandle] = None
+        self._epoch = 0
+        # While a reshard is in flight (between begin_reshard and
+        # finish_reshard) every mutating call is buffered here, after it
+        # applied to the current fleet, for tail replay onto the new one.
+        self._reshard_tail: Optional[List[Tuple[str, Any]]] = None
+        # Fleets retired by reshard but still pinned by live snapshots;
+        # close() force-closes them so worker processes never outlive the
+        # deployment.
+        self._retired_fleets: List[_FleetHandle] = []
         # Bumped by every load(); snapshots and enumerators created against
         # an earlier load raise StaleStateError instead of silently reading
         # the replaced deployment.
@@ -288,6 +432,10 @@ class ShardedEngine:
             self.close()
         self._generation += 1
         self._version = 0
+        self._epoch = 0
+        self._reshard_tail = None
+        if self.durability is not None:
+            self._wipe_fleet_history()
         shard_databases = self.router.split_database(database)
         self.executor_name = self._resolve_executor(database.size)
         self._executor = EXECUTORS[self.executor_name]()
@@ -303,6 +451,9 @@ class ShardedEngine:
             self.router.shard_key,
             self.durability,
         )
+        self._fleet = _FleetHandle(
+            self._executor, self.router, self.executor_name, 0
+        )
         if self._capture_deltas:
             self._executor.broadcast("set_delta_capture", True)
         return self
@@ -310,12 +461,17 @@ class ShardedEngine:
     def recover(self) -> "ShardedEngine":
         """Restart every shard from its own durability directory.
 
-        The deployment must have been constructed with the same query,
-        shard count, and ``durability`` directory as the one that wrote
-        the shards' WALs and checkpoints.  Each worker recovers
-        independently (newest valid checkpoint + WAL-tail replay, see
-        :func:`repro.durability.recovery.recover_engine`); the facade's
-        ingestion counter resumes at the maximum shard version — an exact
+        The deployment must have been constructed with the same query and
+        ``durability`` directory as the one that wrote the shards' WALs
+        and checkpoints.  When a fleet barrier record exists (written by
+        :meth:`finish_reshard`), recovery comes back at the *recorded*
+        shard count and epoch — the constructed count is only the
+        fallback for never-resharded deployments — so a reshard survives
+        the crash of every process that knew about it.  Each worker
+        recovers independently (newest valid checkpoint + WAL-tail
+        replay, see :func:`repro.durability.recovery.recover_engine`);
+        the facade's ingestion counter resumes at the barrier version
+        plus the maximum per-shard progress since the barrier — an exact
         count when all shards die together (every facade event ticks
         every involved shard at most once), and a lower bound otherwise.
         """
@@ -326,6 +482,23 @@ class ShardedEngine:
         if self._executor is not None:
             self.close()
         self._generation += 1
+        self._reshard_tail = None
+        meta = read_fleet_meta(self.durability.directory)
+        baselines: Optional[List[int]] = None
+        meta_version = 0
+        if meta is None:
+            self._epoch = 0
+        else:
+            count = int(meta["shards"])
+            self._epoch = int(meta.get("epoch", 0))
+            meta_version = int(meta.get("version", 0))
+            if count != self.shards:
+                self.router = ShardRouter(self.query, count, self._shard_key_choice)
+                self.shards = count
+                self.shard_key = self.router.shard_key
+            raw = meta.get("shard_versions")
+            if isinstance(raw, list) and len(raw) == count:
+                baselines = [int(value) for value in raw]
         self.executor_name = (
             self._resolve_executor(SMALL_N_THRESHOLD)
             if self.executor_choice == "auto"
@@ -342,18 +515,44 @@ class ShardedEngine:
             },
             [None] * self.shards,
             self.router.shard_key,
-            self.durability,
+            self.durability.for_epoch(self._epoch),
+        )
+        self._fleet = _FleetHandle(
+            self._executor, self.router, self.executor_name, self._epoch
         )
         if self._capture_deltas:
             self._executor.broadcast("set_delta_capture", True)
-        self._version = max(self.shard_versions())
+        shard_versions = self.shard_versions()
+        if meta is None:
+            self._version = max(shard_versions)
+        elif baselines is not None:
+            progress = max(
+                (version - base for version, base in zip(shard_versions, baselines)),
+                default=0,
+            )
+            self._version = meta_version + max(0, progress)
+        else:
+            self._version = max(meta_version, max(shard_versions))
         return self
 
     def close(self) -> None:
-        """Shut down the executor (terminates worker processes, if any)."""
-        if self._executor is not None:
+        """Shut down the executor (terminates worker processes, if any).
+
+        Force-closes the current fleet regardless of snapshot pins (their
+        handles raise :class:`StaleStateError` afterwards), closes any
+        fleets retired by reshard but still pinned, and drops an
+        in-flight reshard tail.
+        """
+        if self._fleet is not None:
+            self._fleet.force_close()
+            self._fleet = None
+        elif self._executor is not None:
             self._executor.close()
-            self._executor = None
+        self._executor = None
+        for fleet in self._retired_fleets:
+            fleet.force_close()
+        self._retired_fleets = []
+        self._reshard_tail = None
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -403,6 +602,8 @@ class ShardedEngine:
             "update",
             (update.relation, update.tuple, update.multiplicity),
         )
+        if self._reshard_tail is not None:
+            self._reshard_tail.append(("update", update))
         self._version += 1
         if self.telemetry is not None:
             self.telemetry.record_update(1, time.perf_counter() - started)
@@ -429,10 +630,18 @@ class ShardedEngine:
         started = time.perf_counter() if self.telemetry is not None else 0.0
         if isinstance(updates, UpdateBatch):
             sub_batches = self.router.split_batch(updates)
+            tail_event: Tuple[str, Any] = ("batch", updates)
         else:
+            if self._reshard_tail is not None:
+                # Materialize the iterable: it must be routed twice (now,
+                # and again through the new router at tail replay).
+                updates = list(updates)
             sub_batches = self.router.split_updates(updates)
+            tail_event = ("updates", updates)
         source_count = sum(batch.source_count for batch in sub_batches.values())
         if not sub_batches:
+            if self._reshard_tail is not None:
+                self._reshard_tail.append(tail_event)
             self._version += 1
             if self.telemetry is not None:
                 self.telemetry.record_update(0, time.perf_counter() - started)
@@ -448,6 +657,10 @@ class ShardedEngine:
                 for shard, batch in sub_batches.items()
             }
         )
+        if self._reshard_tail is not None:
+            # Buffer only what the current fleet accepted: a rejected
+            # over-delete raised above and must not replay either.
+            self._reshard_tail.append(tail_event)
         self._version += 1
         if self.telemetry is not None:
             self.telemetry.record_update(
@@ -539,7 +752,10 @@ class ShardedEngine:
         shard_versions = tuple(
             replies[shard][1] for shard in range(executor.shard_count)
         )
-        return ShardedSnapshot(self, snapshot_ids, shard_versions, self._version)
+        assert self._fleet is not None  # _require_loaded() passed
+        return ShardedSnapshot(
+            self, self._fleet, snapshot_ids, shard_versions, self._version
+        )
 
     # ------------------------------------------------------------------
     # result-delta capture (push-based serving)
@@ -595,8 +811,278 @@ class ShardedEngine:
             raise ValueError("epsilon must lie in [0, 1]")
         executor = self._require_loaded()
         executor.broadcast("retune", epsilon)
+        if self._reshard_tail is not None:
+            self._reshard_tail.append(("retune", epsilon))
         self.epsilon = epsilon
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # elastic resharding
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Fleet epoch: 0 at load, +1 per completed reshard.
+
+        Keys the durability layout (``epoch-<n>/shard-<i>``, with epoch 0
+        as the legacy root layout) so recovery can tell which fleet's
+        history is authoritative.
+        """
+        return self._epoch
+
+    def reshard(self, new_count: int) -> None:
+        """Switch the deployment to ``new_count`` shards online.
+
+        The synchronous form of the three-phase protocol — cut, build,
+        swap — with no writer interleaved, so the tail is empty.  A
+        serving layer that must keep committing during the (expensive)
+        build phase calls the phases directly::
+
+            plan = engine.begin_reshard(k)   # under the write lock
+            engine.build_reshard(plan)       # lock released; writes flow
+            engine.finish_reshard(plan)      # under the write lock
+
+        Afterwards the merged enumeration, result, and invariants equal a
+        fresh deployment at ``new_count`` over the same data (the
+        conformance bar); the facade version ticks once, like
+        :meth:`retune`.  Snapshots captured before the reshard keep
+        reading their version through the retired fleet, which shuts
+        down when the last of them closes.
+        """
+        plan = self.begin_reshard(new_count)
+        try:
+            self.build_reshard(plan)
+        except SimulatedCrashError:
+            raise  # a simulated process death runs no cleanup, like SIGKILL
+        except BaseException:
+            self.abort_reshard(plan)
+            raise
+        self.finish_reshard(plan)
+
+    def begin_reshard(self, new_count: int) -> _ReshardPlan:
+        """Phase 1/3: capture a snapshot-consistent cut of every shard.
+
+        Brief — one export broadcast — and must not race a mutating call
+        (the serving layer holds its write lock).  After it returns,
+        writes may resume: they land on the current fleet as usual *and*
+        are buffered for tail replay onto the new one.
+        """
+        if new_count <= 0:
+            raise ValueError(f"shard count must be positive, got {new_count}")
+        executor = self._require_loaded()
+        if self._reshard_tail is not None:
+            raise ReproError("a reshard is already in progress")
+        payloads = executor.broadcast("export")
+        self._reshard_tail = []
+        return _ReshardPlan(
+            new_count=new_count,
+            cut_version=self._version,
+            cut_epsilon=self.epsilon,
+            payloads=payloads,
+        )
+
+    def build_reshard(self, plan: _ReshardPlan) -> None:
+        """Phase 2/3: build and load the new fleet (expensive, lock-free).
+
+        Merges the exported shard cuts, re-routes them through a router
+        at the new count, and preprocesses fresh per-shard engines — at
+        the ε of the cut (a retune committed since the cut is in the tail
+        and replays in order).  Durable deployments start the new fleet
+        under the *next epoch's* directory, so the old fleet's history
+        stays authoritative until the barrier record commits the swap.
+        Delta capture stays off on the new fleet until the swap: the
+        events it would capture during tail replay were already captured
+        (and drained) on the old fleet, and phantom deltas must never
+        reach subscribers.
+        """
+        combined = Database()
+        for payload in plan.payloads:
+            for name, (schema, rows) in payload.items():
+                if name in combined:
+                    relation = combined.relation(name)
+                else:
+                    relation = combined.create_relation(name, schema)
+                for tup, mult in rows:
+                    relation.apply_delta(tuple(tup), mult)
+        plan.router = ShardRouter(self.query, plan.new_count, self._shard_key_choice)
+        plan.epoch = self._epoch + 1
+        durability = (
+            None if self.durability is None else self.durability.for_epoch(plan.epoch)
+        )
+        shard_databases = plan.router.split_database(combined)
+        executor_name = self._resolve_executor(combined.size)
+        executor = EXECUTORS[executor_name]()
+        executor.start(
+            str(self.query),
+            {
+                "epsilon": plan.cut_epsilon,
+                "mode": self.mode,
+                "enable_rebalancing": self.enable_rebalancing,
+                "copy_database": False,
+            },
+            shard_databases,
+            plan.router.shard_key,
+            durability,
+        )
+        plan.fleet = _FleetHandle(executor, plan.router, executor_name, plan.epoch)
+
+    def finish_reshard(self, plan: _ReshardPlan) -> None:
+        """Phase 3/3: replay the tail, write the barrier, swap the fleet.
+
+        Must not race a mutating call.  The tail replays through the same
+        routing paths as live ingestion — raw update lists re-route
+        pre-consolidation (a sub-batch whose net effect cancels still
+        ticks its destination shard), consolidated batches re-split by
+        net entry — so the new fleet's per-shard version accounting
+        matches a fresh deployment fed the same stream.  Durable
+        deployments then publish the fleet barrier record: its atomic
+        rename is the commit point — recovery lands at the old fleet
+        before it and the new fleet after it, never a hybrid.  Finally
+        the facade swaps routers/executors, ticks its version once, and
+        retires the old fleet (closed when its last snapshot pin drains).
+        """
+        self._require_loaded()
+        if plan.fleet is None or plan.router is None:
+            raise ReproError("finish_reshard called before build_reshard")
+        new_executor = plan.fleet.executor
+        router = plan.router
+        tail = self._reshard_tail or []
+        crash_point("reshard-prepare")
+        for kind, payload in tail:
+            crash_point("reshard-tail")
+            if kind == "update":
+                new_executor.call(
+                    router.shard_of_update(payload),
+                    "update",
+                    (payload.relation, payload.tuple, payload.multiplicity),
+                )
+            elif kind == "retune":
+                new_executor.broadcast("retune", payload)
+            else:
+                if kind == "batch":
+                    sub_batches = router.split_batch(payload)
+                else:  # "updates": raw source updates, routed pre-consolidation
+                    sub_batches = router.split_updates(payload)
+                if not sub_batches:
+                    continue  # consolidated-empty: no shard work, as in apply_batch
+                pre_validated = len(sub_batches) > 1
+                if pre_validated:
+                    new_executor.map(
+                        {
+                            shard: ("validate", batch)
+                            for shard, batch in sub_batches.items()
+                        }
+                    )
+                new_executor.map(
+                    {
+                        shard: ("batch", (batch, pre_validated))
+                        for shard, batch in sub_batches.items()
+                    }
+                )
+        version_after = self._version + 1  # the reshard ticks once, like retune
+        if self.durability is not None:
+            write_fleet_meta(
+                self.durability.directory,
+                {
+                    "shards": plan.new_count,
+                    "epoch": plan.epoch,
+                    "version": version_after,
+                    "shard_versions": list(new_executor.broadcast("version")),
+                    "epsilon": self.epsilon,
+                },
+                fsync=self.durability.fsync,
+            )
+        crash_point("reshard-swap")
+        if self._capture_deltas:
+            new_executor.broadcast("set_delta_capture", True)
+        old_fleet = self._fleet
+        self.router = router
+        self.shards = plan.new_count
+        self.shard_key = router.shard_key
+        self.executor_name = plan.fleet.executor_name
+        self._executor = new_executor
+        self._fleet = plan.fleet
+        self._epoch = plan.epoch
+        self._reshard_tail = None
+        self._version = version_after
+        if old_fleet is not None:
+            old_fleet.retire()
+            if not old_fleet.closed:
+                self._retired_fleets.append(old_fleet)
+            self._retired_fleets = [
+                fleet for fleet in self._retired_fleets if not fleet.closed
+            ]
+        if self.durability is not None:
+            self._cleanup_old_epochs(keep=plan.epoch)
+
+    def abort_reshard(self, plan: _ReshardPlan) -> None:
+        """Cancel an in-flight reshard; the current fleet never stopped.
+
+        Drops the tail buffer and the partially built fleet.  Best
+        effort on disk: the new epoch's durability tree is removed, and
+        since the barrier record was never written, recovery was never
+        at risk either way.
+        """
+        self._reshard_tail = None
+        if plan.fleet is not None:
+            plan.fleet.force_close()
+            plan.fleet = None
+        if self.durability is not None and plan.epoch > 0:
+            # Never delete an epoch the barrier already committed to: an
+            # abort racing a written barrier must leave recovery intact.
+            meta = read_fleet_meta(self.durability.directory)
+            if meta is None or int(meta.get("epoch", 0)) != plan.epoch:
+                shutil.rmtree(
+                    self.durability.for_epoch(plan.epoch).directory,
+                    ignore_errors=True,
+                )
+
+    def _wipe_fleet_history(self) -> None:
+        """Erase fleet-level durability state before a fresh load.
+
+        Mirrors ``DurabilityManager.start_fresh`` at the fleet level: a
+        re-load replaces the deployment wholesale, so a stale barrier
+        record or a superseded epoch tree could only mislead a later
+        recovery.
+        """
+        root = self.durability.path
+        if not root.exists():
+            return
+        for name in (FLEET_META_NAME, FLEET_META_NAME + ".tmp"):
+            try:
+                (root / name).unlink()
+            except OSError:
+                pass
+        for entry in root.iterdir():
+            if entry.is_dir() and (
+                entry.name.startswith("epoch-") or entry.name.startswith("shard-")
+            ):
+                shutil.rmtree(entry, ignore_errors=True)
+
+    def _cleanup_old_epochs(self, keep: int) -> None:
+        """Best-effort pruning of durability trees from superseded epochs.
+
+        Runs after the barrier rename, so a crash anywhere in here leaves
+        stale trees that recovery ignores (it follows the barrier
+        record).  The old fleet stopped receiving commits at the swap;
+        on POSIX its open WAL handles survive the unlink.
+        """
+        root = self.durability.path
+        try:
+            entries = list(root.iterdir())
+        except OSError:
+            return
+        for entry in entries:
+            if not entry.is_dir():
+                continue
+            if entry.name.startswith("shard-") and keep != 0:
+                shutil.rmtree(entry, ignore_errors=True)
+            elif entry.name.startswith("epoch-"):
+                try:
+                    epoch = int(entry.name.split("-", 1)[1])
+                except ValueError:
+                    continue
+                if epoch != keep:
+                    shutil.rmtree(entry, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # introspection and invariants

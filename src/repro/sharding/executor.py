@@ -130,6 +130,11 @@ class _ShardServer:
             return None
         if command == "enumerate":
             return sort_shard_result(self.engine.enumerate())
+        if command == "export":
+            # Reshard cut: the shard's full base data as a picklable
+            # payload.  The caller stops routing writes to this fleet
+            # before exporting, so the payload is a consistent cut.
+            return database_to_payload(self.engine.database)
         if command == "snapshot":
             self._snapshot_seq += 1
             self._snapshots[self._snapshot_seq] = [self.engine.snapshot(), None]

@@ -1,6 +1,6 @@
 """Benchmark gate: re-run the asserted throughput claims so they cannot rot.
 
-Six benchmark modules assert headline performance ratios and record their
+Seven benchmark modules assert headline performance ratios and record their
 tables under ``benchmarks/results/``:
 
 * ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
@@ -13,7 +13,10 @@ tables under ``benchmarks/results/``:
   checkpointed recovery ≤ 0.5× replaying the whole WAL;
 * ``bench_subscriptions``      — every one of 200 concurrent push
   subscribers reproduces the oracle from per-commit deltas (ratio 1.0),
-  with per-subscriber queue memory bounded under backpressure.
+  with per-subscriber queue memory bounded under backpressure;
+* ``bench_reshard``            — online 2→4 reshard under a live writer:
+  longest writer stall ≤ 0.6× the reshard wall-clock, and post-reshard
+  ingest throughput ≥ 0.8× a fleet loaded fresh at 4 shards.
 
 Committed result files are claims about the code, and nothing in the unit
 suite re-checks them.  This gate replays the benchmark assertions::
@@ -53,6 +56,7 @@ GATED_BENCHMARKS = (
     "benchmarks/bench_adaptive.py",
     "benchmarks/bench_durability.py",
     "benchmarks/bench_subscriptions.py",
+    "benchmarks/bench_reshard.py",
 )
 
 TRAJECTORY_FILE = REPO_ROOT / "BENCH_trajectory.json"

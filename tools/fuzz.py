@@ -40,7 +40,11 @@ snapshot reads too.  Live ε switching is fuzzed from two sides: every
 differential run retunes its dynamic engines at one case-deterministic
 checkpoint, and the ``retune-equivalence`` metamorphic property asserts
 retune(ε₂) == fresh-engine-at-ε₂ (order included) at shard counts
-{1, 2, 4}.
+{1, 2, 4}.  Elastic resharding is fuzzed the same two ways: every
+differential run reshards its sharded runners at a second
+case-deterministic checkpoint, and the ``reshard-equivalence`` metamorphic
+property asserts reshard(k′) == fresh-fleet-at-k′ (order included, held
+snapshots preserved) over the shard-count cycle {1, 2, 4, 7}.
 """
 
 from __future__ import annotations
@@ -65,6 +69,7 @@ from repro.conformance import (  # noqa: E402 - sys.path bootstrap above
     check_insert_delete_noop,
     check_partition_union,
     check_query_conformance,
+    check_reshard_equivalence,
     check_retune_equivalence,
     check_shard_merge,
     check_snapshot_isolation,
@@ -87,6 +92,7 @@ METAMORPHIC_PROPERTIES = (
     "shard-merge",
     "snapshot-isolation",
     "retune-equivalence",
+    "reshard-equivalence",
 )
 
 RETUNE_TARGETS = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -177,6 +183,8 @@ def metamorphic_failure(case: ConformanceCase, prop: str):
                 (len(case.updates) + int(4 * epsilon)) % len(RETUNE_TARGETS)
             ]
             check_retune_equivalence(case.query, epsilon, target, database, updates)
+        elif prop == "reshard-equivalence":
+            check_reshard_equivalence(case.query, epsilon, database, updates)
     except AssertionError as exc:
         return Mismatch(
             engine=f"ivm(eps={epsilon})",
