@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-reshard bench-gate docs-check install-dev
+.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-reshard bench-storage bench-gate profile profile-smoke docs-check install-dev
 
 ## Tier-1 verification: the coverage gate first — it runs the full test
 ## suite exactly once (fail-fast, under the line collector when pytest-cov
@@ -77,9 +77,23 @@ bench-subscriptions:
 bench-reshard:
 	$(PY) -m pytest benchmarks/bench_reshard.py -q
 
+## Columnar-vs-dict storage benchmark: per-tuple maintenance touch
+## throughput over every registered scenario (asserts >=3x geomean).
+bench-storage:
+	$(PY) -m pytest benchmarks/bench_storage.py -q
+
 ## Re-run every asserted benchmark claim at reduced scale (the CI gate).
 bench-gate:
 	$(PY) tools/bench_gate.py --smoke
+
+## Profile scenario ingestion under cProfile and refresh the committed
+## hot-function report (benchmarks/results/profile_hotpath.txt).
+profile:
+	$(PY) tools/profile_hotpath.py
+
+## CI smoke for the profiling harness: tiny streams, report to stdout.
+profile-smoke:
+	$(PY) tools/profile_hotpath.py --smoke
 
 ## Fail if any public module under src/repro/ lacks a module docstring.
 docs-check:

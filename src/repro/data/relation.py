@@ -12,14 +12,31 @@ This module implements the data-structure contract of Section 3 of the paper
   time, (6) return ``|σ_{S=t} R|`` in constant time, and (7) insert and
   delete index entries in constant time.
 
-Python dictionaries preserve insertion order and give amortized O(1)
-lookup/insert/delete, which matches the hash-table-with-chaining construction
-described in the paper up to amortization.
+Two interchangeable storage backends satisfy the contract:
+
+* ``dict`` — the original layout: a dict of tuples to multiplicities plus
+  dict-of-dict indexes.  Python dictionaries preserve insertion order and
+  give amortized O(1) lookup/insert/delete, which matches the
+  hash-table-with-chaining construction described in the paper up to
+  amortization.
+* ``columnar`` (:mod:`repro.data.storage`, the default) — an array-backed
+  layout with interned values, flat multiplicity/degree arrays addressed by
+  row id, and intrusive linked lists for index groups.  Observationally
+  identical to ``dict`` (including enumeration order) but with a much
+  smaller constant on the maintenance hot path.
+
+The backend is selected with ``REPRO_STORAGE=dict|columnar`` (environment),
+:func:`set_default_backend`, or the :func:`storage_backend` context manager.
+Constructing ``Relation(...)`` dispatches to the selected backend class;
+instantiating :class:`DictRelation` (or the columnar class) directly pins a
+backend regardless of the default.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Type
 
 from repro.data.schema import (
     Projector,
@@ -32,7 +49,7 @@ from repro.exceptions import RejectedUpdateError, SchemaError
 
 
 class Index:
-    """A secondary index of a relation on a sub-schema.
+    """A secondary index of a relation on a sub-schema (dict backend).
 
     Maps every key tuple ``t`` over the index schema to the group of full
     tuples of the relation that agree with ``t``, stored as an
@@ -101,13 +118,90 @@ class Index:
         return f"Index({self.key_schema!r}, keys={len(self._groups)})"
 
 
+# ----------------------------------------------------------------------
+# storage backend selection
+# ----------------------------------------------------------------------
+_BACKENDS: Dict[str, Type["Relation"]] = {}
+_BACKEND_NAMES = ("dict", "columnar")
+_DEFAULT_BACKEND: Optional[str] = None  # resolved lazily from REPRO_STORAGE
+
+
+def _validate_backend(name: str) -> str:
+    if name not in _BACKEND_NAMES:
+        raise ValueError(
+            f"unknown storage backend {name!r}; expected one of {_BACKEND_NAMES}"
+        )
+    return name
+
+
+def get_default_backend() -> str:
+    """Return the current default backend name (``dict`` or ``columnar``).
+
+    Resolved from the ``REPRO_STORAGE`` environment variable on first use;
+    later changes go through :func:`set_default_backend`.
+    """
+    global _DEFAULT_BACKEND
+    if _DEFAULT_BACKEND is None:
+        name = os.environ.get("REPRO_STORAGE", "").strip().lower() or "columnar"
+        _DEFAULT_BACKEND = _validate_backend(name)
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name: str) -> str:
+    """Select the backend used by ``Relation(...)``; return the previous one.
+
+    Also mirrors the choice into ``os.environ['REPRO_STORAGE']`` so worker
+    processes spawned by the sharded executors inherit the same backend.
+    """
+    global _DEFAULT_BACKEND
+    previous = get_default_backend()
+    _DEFAULT_BACKEND = _validate_backend(name)
+    os.environ["REPRO_STORAGE"] = _DEFAULT_BACKEND
+    return previous
+
+
+@contextmanager
+def storage_backend(name: str):
+    """Context manager pinning the default storage backend within a block."""
+    previous = set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def register_backend(name: str, cls: Type["Relation"]) -> None:
+    _BACKENDS[_validate_backend(name)] = cls
+
+
+def backend_class(name: str) -> Type["Relation"]:
+    """Return the Relation subclass implementing backend ``name``."""
+    _validate_backend(name)
+    cls = _BACKENDS.get(name)
+    if cls is None:
+        # The columnar backend lives in repro.data.storage, which imports
+        # this module; load it lazily to register its class.
+        from repro.data import storage  # noqa: F401
+
+        cls = _BACKENDS[name]
+    return cls
+
+
 class Relation:
     """A finite map from tuples to strictly positive multiplicities.
 
-    The relation also owns any number of secondary :class:`Index` objects,
-    created on demand via :meth:`ensure_index` and kept consistent by all
-    mutating operations.
+    The relation also owns any number of secondary index objects, created on
+    demand via :meth:`ensure_index` and kept consistent by all mutating
+    operations.  ``Relation(...)`` is a factory: it instantiates the storage
+    backend selected by :func:`get_default_backend`.
     """
+
+    backend = "abstract"
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Relation:
+            cls = backend_class(get_default_backend())
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -117,8 +211,6 @@ class Relation:
     ) -> None:
         self.name = name
         self.schema: Schema = make_schema(schema)
-        self._data: Dict[ValueTuple, int] = {}
-        self._indexes: Dict[Schema, Index] = {}
         # Copy-on-write hooks used by repro.snapshot: `_cow` points at the
         # engine's CowTracker once the relation has been captured by a
         # snapshot, `_cow_epoch` is the last tracker epoch this relation was
@@ -130,9 +222,13 @@ class Relation:
         self._cow_epoch = -1
         self._change_ticks = 0
         self._cow_cache: Optional[Tuple[int, "Relation"]] = None
+        self._init_storage()
         if tuples:
             for tup, mult in tuples.items():
                 self.apply_delta(tup, mult)
+
+    def _init_storage(self) -> None:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -144,44 +240,41 @@ class Relation:
 
     def __len__(self) -> int:
         """Number of distinct tuples with non-zero multiplicity (``|R|``)."""
-        return len(self._data)
+        raise NotImplementedError
 
     def __contains__(self, tup: ValueTuple) -> bool:
-        return tup in self._data
+        raise NotImplementedError
 
     def __iter__(self) -> Iterator[ValueTuple]:
-        return iter(self._data)
+        raise NotImplementedError
 
     def multiplicity(self, tup: ValueTuple) -> int:
         """Return ``R(x)``; 0 when the tuple is absent."""
-        return self._data.get(tup, 0)
+        raise NotImplementedError
 
     def items(self) -> Iterable[Tuple[ValueTuple, int]]:
         """Enumerate ``(tuple, multiplicity)`` entries with constant delay."""
-        return self._data.items()
+        raise NotImplementedError
 
     def tuples(self) -> Iterable[ValueTuple]:
         """Enumerate the tuples with non-zero multiplicity."""
-        return self._data.keys()
+        raise NotImplementedError
 
     def total_multiplicity(self) -> int:
         """Sum of all multiplicities (useful for COUNT-style assertions)."""
-        return sum(self._data.values())
+        return sum(mult for _, mult in self.items())
 
     def copy(self, name: Optional[str] = None) -> "Relation":
-        """Return a deep copy of the relation content (indexes not copied)."""
-        clone = Relation(name or self.name, self.schema)
-        clone._data = dict(self._data)
-        return clone
+        """Return a deep copy of the relation content (indexes not copied).
+
+        The copy uses the same storage backend as the source, regardless of
+        the current default.
+        """
+        raise NotImplementedError
 
     def clear(self) -> None:
         """Remove all tuples and index entries."""
-        self._cow_guard()
-        if self._data:
-            self._change_ticks += 1
-        self._data.clear()
-        for index in self._indexes.values():
-            index._groups.clear()
+        raise NotImplementedError
 
     def _cow_guard(self) -> None:
         """Preserve the pre-mutation content into every active snapshot.
@@ -214,33 +307,18 @@ class Relation:
         multiplicity of zero removes the tuple from the relation and from all
         indexes.
         """
-        self._check_arity(tup)
-        if delta == 0:
-            return self._data.get(tup, 0)
-        current = self._data.get(tup, 0)
-        updated = current + delta
-        if updated < 0:
-            raise RejectedUpdateError(
-                f"delete of {-delta} copies of {tup!r} rejected: relation "
-                f"{self.name!r} holds only {current}"
-            )
-        self._cow_guard()
-        self._change_ticks += 1
-        if updated == 0:
-            del self._data[tup]
-            for index in self._indexes.values():
-                index.remove(tup)
-        else:
-            if current == 0:
-                self._data[tup] = updated
-                for index in self._indexes.values():
-                    index.add(tup)
-            else:
-                self._data[tup] = updated
-        return updated
+        raise NotImplementedError
 
     def set_multiplicity(self, tup: ValueTuple, mult: int) -> None:
-        """Set the multiplicity of ``tup`` to exactly ``mult`` (≥ 0)."""
+        """Set the multiplicity of ``tup`` to exactly ``mult`` (≥ 0).
+
+        A negative ``mult`` is a caller error, reported as :class:`ValueError`
+        like the sign checks of :meth:`insert` and :meth:`delete` — not as a
+        :class:`RejectedUpdateError`, which is reserved for over-deletes of
+        well-formed updates.
+        """
+        if mult < 0:
+            raise ValueError("set_multiplicity requires a non-negative multiplicity")
         current = self.multiplicity(tup)
         self.apply_delta(tup, mult - current)
 
@@ -257,35 +335,50 @@ class Relation:
         self.apply_delta(tup, -mult)
 
     def merge(self, other: "Relation", sign: int = 1) -> None:
-        """Apply every entry of ``other`` (scaled by ``sign``) to this relation."""
+        """Apply every entry of ``other`` (scaled by ``sign``) to this relation.
+
+        The merge is atomic: every entry is validated before any is applied,
+        so an over-deleting merge raises :class:`RejectedUpdateError` and
+        leaves this relation untouched instead of half-merged.
+        """
         if other.schema != self.schema:
             raise SchemaError(
                 f"cannot merge {other.schema!r} into {self.schema!r}"
             )
+        if sign < 0:
+            # Entries of `other` are strictly positive, so only a negative
+            # sign can over-delete; validate every entry up front.
+            for tup, mult in other.items():
+                if self.multiplicity(tup) + sign * mult < 0:
+                    raise RejectedUpdateError(
+                        f"merge of {other.name!r} into {self.name!r} rejected: "
+                        f"deleting {-sign * mult} copies of {tup!r} exceeds "
+                        f"the {self.multiplicity(tup)} present"
+                    )
         for tup, mult in other.items():
             self.apply_delta(tup, sign * mult)
 
     # ------------------------------------------------------------------
     # indexes
     # ------------------------------------------------------------------
-    def ensure_index(self, key_schema: Iterable[str]) -> Index:
-        """Return (building if necessary) the index on ``key_schema``.
-
-        The key schema is normalised to the ordering induced by the relation
-        schema so logically equal requests share one index.
-        """
+    def _normalise_key_schema(self, key_schema: Iterable[str]) -> Schema:
         key = tuple(var for var in self.schema if var in set(key_schema))
         if set(key) != set(key_schema):
             raise SchemaError(
                 f"index schema {tuple(key_schema)!r} is not a subset of {self.schema!r}"
             )
-        index = self._indexes.get(key)
-        if index is None:
-            index = Index(self.schema, key)
-            for tup in self._data:
-                index.add(tup)
-            self._indexes[key] = index
-        return index
+        return key
+
+    def ensure_index(self, key_schema: Iterable[str]):
+        """Return (building if necessary) the index on ``key_schema``.
+
+        The key schema is normalised to the ordering induced by the relation
+        schema so logically equal requests share one index.  Key tuples
+        passed to :meth:`slice`/:meth:`slice_size`/:meth:`contains_key` (or
+        to the index directly) must therefore be built in relation-schema
+        order, not in the caller's variable order.
+        """
+        raise NotImplementedError
 
     def has_index(self, key_schema: Iterable[str]) -> bool:
         key = tuple(var for var in self.schema if var in set(key_schema))
@@ -324,17 +417,141 @@ class Relation:
         """Constant-time test ``key ∈ π_S R``."""
         return self.ensure_index(key_schema).contains_key(key)
 
+    def contains_key_of(self, key_schema: Schema, tup: ValueTuple) -> bool:
+        """Tuple-addressed form of :meth:`contains_key`.
+
+        Tests whether ``tup``'s projection onto ``key_schema`` appears in
+        ``π_S R`` without the caller having to build the key tuple (the
+        maintenance hot path asks this about the update tuple itself, which
+        lets the columnar backend answer from the row table for live
+        tuples).
+        """
+        index = self.ensure_index(key_schema)
+        return index.contains_key(index.key_of(tup))
+
+    def degree_of(self, key_schema: Schema, tup: ValueTuple) -> int:
+        """Tuple-addressed form of :meth:`slice_size`.
+
+        Returns ``|σ_{S=key_of(tup)} R|`` — the degree of the key group that
+        ``tup`` belongs (or would belong) to.
+        """
+        index = self.ensure_index(key_schema)
+        return index.group_size(index.key_of(tup))
+
     def project(self, target_schema: Schema, name: Optional[str] = None) -> "Relation":
         """Return a new relation ``π_target R`` summing multiplicities."""
         projector = Projector(self.schema, target_schema)
-        result = Relation(name or f"π({self.name})", target_schema)
-        for tup, mult in self._data.items():
+        result = type(self)(name or f"π({self.name})", target_schema)
+        for tup, mult in self.items():
             result.apply_delta(projector(tup), mult)
         return result
 
     def as_dict(self) -> Dict[ValueTuple, int]:
         """Return a copy of the underlying tuple → multiplicity mapping."""
-        return dict(self._data)
+        return dict(self.items())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({self.name!r}, schema={self.schema!r}, size={len(self)})"
+        return (
+            f"Relation({self.name!r}, schema={self.schema!r}, size={len(self)}, "
+            f"backend={self.backend!r})"
+        )
+
+
+class DictRelation(Relation):
+    """The original dict-of-tuples storage backend.
+
+    Kept unchanged as the reference implementation: the conformance runner
+    diffs it against the columnar backend, and ``REPRO_STORAGE=dict``
+    selects it engine-wide.
+    """
+
+    backend = "dict"
+
+    def _init_storage(self) -> None:
+        self._data: Dict[ValueTuple, int] = {}
+        self._indexes: Dict[Schema, Index] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, tup: ValueTuple) -> bool:
+        return tup in self._data
+
+    def __iter__(self) -> Iterator[ValueTuple]:
+        return iter(self._data)
+
+    def multiplicity(self, tup: ValueTuple) -> int:
+        return self._data.get(tup, 0)
+
+    def items(self) -> Iterable[Tuple[ValueTuple, int]]:
+        return self._data.items()
+
+    def tuples(self) -> Iterable[ValueTuple]:
+        return self._data.keys()
+
+    def total_multiplicity(self) -> int:
+        return sum(self._data.values())
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        clone = type(self)(name or self.name, self.schema)
+        clone._data = dict(self._data)
+        return clone
+
+    def clear(self) -> None:
+        self._cow_guard()
+        if self._data:
+            self._change_ticks += 1
+        self._data.clear()
+        for index in self._indexes.values():
+            index._groups.clear()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_delta(self, tup: ValueTuple, delta: int) -> int:
+        self._check_arity(tup)
+        if delta == 0:
+            return self._data.get(tup, 0)
+        current = self._data.get(tup, 0)
+        updated = current + delta
+        if updated < 0:
+            raise RejectedUpdateError(
+                f"delete of {-delta} copies of {tup!r} rejected: relation "
+                f"{self.name!r} holds only {current}"
+            )
+        self._cow_guard()
+        self._change_ticks += 1
+        if updated == 0:
+            del self._data[tup]
+            for index in self._indexes.values():
+                index.remove(tup)
+        else:
+            if current == 0:
+                self._data[tup] = updated
+                for index in self._indexes.values():
+                    index.add(tup)
+            else:
+                self._data[tup] = updated
+        return updated
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def ensure_index(self, key_schema: Iterable[str]) -> Index:
+        key = self._normalise_key_schema(key_schema)
+        index = self._indexes.get(key)
+        if index is None:
+            index = Index(self.schema, key)
+            for tup in self._data:
+                index.add(tup)
+            self._indexes[key] = index
+        return index
+
+    def as_dict(self) -> Dict[ValueTuple, int]:
+        return dict(self._data)
+
+
+register_backend("dict", DictRelation)

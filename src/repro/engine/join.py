@@ -31,7 +31,7 @@ class BoundRelation:
     variable schema, which coincides with the stored order.
     """
 
-    __slots__ = ("variables", "relation", "_columns")
+    __slots__ = ("variables", "relation", "_columns", "_key_memo")
 
     def __init__(self, variables: Sequence[str], relation: Relation) -> None:
         self.variables: Schema = tuple(variables)
@@ -44,6 +44,9 @@ class BoundRelation:
         self._columns = {
             variable: relation.schema[i] for i, variable in enumerate(self.variables)
         }
+        # Memo of _index_key results: fold/delta joins probe the same shared
+        # variable sets over and over, and the normalisation is pure.
+        self._key_memo: Dict[Tuple[str, ...], Tuple[Schema, Tuple[str, ...]]] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -75,6 +78,10 @@ class BoundRelation:
         order matches the normalised column order of the index, so callers
         can build probe keys in the right order.
         """
+        memo_key = tuple(shared)
+        cached = self._key_memo.get(memo_key)
+        if cached is not None:
+            return cached
         columns = [self._columns[v] for v in shared]
         column_set = set(columns)
         normalised_columns = tuple(
@@ -82,6 +89,7 @@ class BoundRelation:
         )
         column_to_var = {self._columns[v]: v for v in shared}
         variable_order = tuple(column_to_var[c] for c in normalised_columns)
+        self._key_memo[memo_key] = (normalised_columns, variable_order)
         return normalised_columns, variable_order
 
     def matching(

@@ -189,10 +189,14 @@ class UpdateProcessor:
         schema: Schema = relation.schema
 
         partitions = self.plan.partitions.partitions_of(relation.name)
-        pre_state: Dict[int, Tuple[ValueTuple, bool]] = {}
+        # Tuple-addressed probes: whether the update tuple's partition key
+        # existed in the base before the update.  No key tuple is built —
+        # the columnar backend answers from the row table for live tuples.
+        pre_state: Dict[int, bool] = {}
         for partition in partitions:
-            key = partition.key_of(update.tuple)
-            pre_state[id(partition)] = (key, partition.base.contains_key(partition.keys, key))
+            pre_state[id(partition)] = partition.base.contains_key_of(
+                partition.keys, update.tuple
+            )
 
         # (2) the shared base relation absorbs the update exactly once
         relation.apply_delta(update.tuple, update.multiplicity)
@@ -207,8 +211,10 @@ class UpdateProcessor:
         # (4) light-part routing
         updated_light: Set[int] = set()
         for partition in partitions:
-            key, was_in_base = pre_state[id(partition)]
-            route_to_light = (not was_in_base) or partition.is_light_key(key)
+            was_in_base = pre_state[id(partition)]
+            route_to_light = (not was_in_base) or partition.light.contains_key_of(
+                partition.keys, update.tuple
+            )
             if not route_to_light:
                 continue
             if id(partition.light) in updated_light:

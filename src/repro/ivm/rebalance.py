@@ -300,31 +300,43 @@ class MaintenanceDriver:
         relation = self.database.relation(update.relation)
         threshold = self.threshold
         for partition in self.plan.partitions.partitions_of(relation.name):
-            key = partition.key_of(update.tuple)
             self._check_partition_key(
-                partition, key, update.tuple, update.relation, threshold
+                partition, None, update.tuple, update.relation, threshold
             )
 
     def _check_partition_key(
         self,
         partition: Partition,
-        key: ValueTuple,
+        key: Optional[ValueTuple],
         witness: ValueTuple,
         relation_name: str,
         threshold: float,
     ) -> None:
-        """Move one key across the heavy/light border if it drifted."""
-        light_degree = partition.light_degree(key)
-        base_degree = partition.base_degree(key)
+        """Move one key across the heavy/light border if it drifted.
+
+        ``key`` may be ``None``: degrees are then probed tuple-addressed via
+        the witness tuple (the columnar backend answers those from the row
+        table) and the key tuple is only built when a move actually fires.
+        """
+        if key is None:
+            light_degree = partition.light.degree_of(partition.keys, witness)
+            base_degree = partition.base.degree_of(partition.keys, witness)
+        else:
+            light_degree = partition.light_degree(key)
+            base_degree = partition.base_degree(key)
         if light_degree == 0 and 0 < base_degree < 0.5 * threshold:
             self.stats.minor_rebalances += 1
             self.stats.moved_to_light += base_degree
+            if key is None:
+                key = partition.key_of(witness)
             self.processor.move_partition_key(
                 partition, key, True, witness, relation_name
             )
         elif light_degree >= 1.5 * threshold:
             self.stats.minor_rebalances += 1
             self.stats.moved_to_heavy += light_degree
+            if key is None:
+                key = partition.key_of(witness)
             self.processor.move_partition_key(
                 partition, key, False, witness, relation_name
             )

@@ -29,8 +29,8 @@ rebalances replace view relations and lets dead relations take their cache
 entries with them.
 
 Thread-safety relies on the tracker lock plus CPython's GIL: the lock makes
-"check whether a frozen copy exists, else copy the dict" atomic against the
-writer guard, and ``dict(d)`` itself is a single C-level operation.  Captures
+"check whether a frozen copy exists, else copy the content" atomic against
+the writer guard (``Relation.copy`` runs entirely under the lock).  Captures
 (:meth:`CowTracker.capture`) must not run concurrently with a mutating call —
 :class:`repro.core.serving.EngineServer` serializes capture against its
 writer for exactly this reason.
@@ -60,8 +60,7 @@ def frozen_copy(relation: Relation) -> Relation:
     cached = relation._cow_cache
     if cached is not None and cached[0] == relation._change_ticks:
         return cached[1]
-    clone = Relation(relation.name, relation.schema)
-    clone._data = dict(relation._data)
+    clone = relation.copy()
     relation._cow_cache = (relation._change_ticks, clone)
     return clone
 

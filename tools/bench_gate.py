@@ -1,6 +1,6 @@
 """Benchmark gate: re-run the asserted throughput claims so they cannot rot.
 
-Seven benchmark modules assert headline performance ratios and record their
+Eight benchmark modules assert headline performance ratios and record their
 tables under ``benchmarks/results/``:
 
 * ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
@@ -16,7 +16,10 @@ tables under ``benchmarks/results/``:
   with per-subscriber queue memory bounded under backpressure;
 * ``bench_reshard``            — online 2→4 reshard under a live writer:
   longest writer stall ≤ 0.6× the reshard wall-clock, and post-reshard
-  ingest throughput ≥ 0.8× a fleet loaded fresh at 4 shards.
+  ingest throughput ≥ 0.8× a fleet loaded fresh at 4 shards;
+* ``bench_storage``            — columnar backend ≥ 3× the dict backend
+  (geomean over every registered scenario) on the per-tuple maintenance
+  touch path, with both backends reaching identical final state.
 
 Committed result files are claims about the code, and nothing in the unit
 suite re-checks them.  This gate replays the benchmark assertions::
@@ -57,6 +60,7 @@ GATED_BENCHMARKS = (
     "benchmarks/bench_durability.py",
     "benchmarks/bench_subscriptions.py",
     "benchmarks/bench_reshard.py",
+    "benchmarks/bench_storage.py",
 )
 
 TRAJECTORY_FILE = REPO_ROOT / "BENCH_trajectory.json"

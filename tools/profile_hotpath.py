@@ -1,0 +1,128 @@
+"""Profile the maintenance hot path across every registered scenario.
+
+Runs each scenario in :data:`repro.workloads.scenarios.SCENARIOS` through a
+freshly loaded :class:`~repro.core.api.HierarchicalEngine` under
+:mod:`cProfile` — the same update streams the conformance fuzzer and the
+benchmarks replay — and writes a top-N hot-function report.  The committed
+copy (``benchmarks/results/profile_hotpath.txt``, refreshed by ``make
+profile``) documents where maintenance time actually goes, so a storage or
+propagation change can be judged against the real call profile instead of
+intuition::
+
+    python tools/profile_hotpath.py                  # full run, writes report
+    python tools/profile_hotpath.py --smoke          # CI: tiny streams, stdout
+    python tools/profile_hotpath.py --backend dict   # profile the dict backend
+
+Per-scenario throughput numbers in the report are measured *under the
+profiler* and are only comparable to each other, not to the un-profiled
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import os
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "results" / "profile_hotpath.txt"
+DEFAULT_COUNT = 4000
+SMOKE_COUNT = 200
+SEED = 7
+
+
+def profile_scenarios(count: int, top: int, backend: str) -> str:
+    from repro.core.api import HierarchicalEngine
+    from repro.data import storage_backend
+    from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+    profile = cProfile.Profile()
+    lines = [
+        f"Maintenance hot-path profile — backend={backend}, "
+        f"{count} updates per scenario, top {top} functions by total time.",
+        "",
+        "Per-scenario ingestion under the profiler (relative only):",
+        "",
+        f"  {'scenario':<14} {'updates':>8} {'seconds':>9} {'updates/s':>10}",
+    ]
+    with storage_backend(backend):
+        for name in sorted(SCENARIOS):
+            scenario = get_scenario(name)
+            database = scenario.make_database(seed=SEED, scale=1.0)
+            updates = list(scenario.make_stream(database, count=count, seed=SEED))
+            engine = HierarchicalEngine(scenario.query).load(database)
+            started = time.perf_counter()
+            profile.enable()
+            for update in updates:
+                engine.apply(update)
+            profile.disable()
+            elapsed = time.perf_counter() - started
+            lines.append(
+                f"  {name:<14} {len(updates):>8} {elapsed:>9.3f} "
+                f"{len(updates) / elapsed:>10.0f}"
+            )
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.strip_dirs().sort_stats("tottime").print_stats(top)
+    lines += ["", buffer.getvalue().rstrip(), ""]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile scenario ingestion (see module docstring)"
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help=f"updates per scenario (default {DEFAULT_COUNT})",
+    )
+    parser.add_argument(
+        "--top", type=int, default=30, help="functions to report (default 30)"
+    )
+    parser.add_argument(
+        "--backend",
+        default=os.environ.get("REPRO_STORAGE", "columnar"),
+        choices=("dict", "columnar"),
+        help="storage backend to profile (default: active backend)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"report path (default {DEFAULT_OUTPUT.relative_to(REPO_ROOT)}; "
+        "'-' for stdout)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI mode: {SMOKE_COUNT} updates per scenario, print to stdout "
+        "instead of touching the committed report",
+    )
+    args = parser.parse_args(argv)
+    count = args.count if args.count is not None else (
+        SMOKE_COUNT if args.smoke else DEFAULT_COUNT
+    )
+    report = profile_scenarios(count, args.top, args.backend)
+    output = args.output
+    if output is None:
+        output = "-" if args.smoke else str(DEFAULT_OUTPUT)
+    if output == "-":
+        print(report)
+    else:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+        print(f"profile-hotpath: wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
