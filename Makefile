@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-reshard bench-storage bench-gate profile profile-smoke docs-check install-dev
+.PHONY: test coverage fuzz-smoke serve-smoke bench-smoke bench-batch bench-sharded bench-serving bench-adaptive bench-subscriptions bench-reshard bench-storage bench-aggregates bench-gate profile profile-smoke docs-check install-dev
 
 ## Tier-1 verification: the coverage gate first — it runs the full test
 ## suite exactly once (fail-fast, under the line collector when pytest-cov
@@ -81,6 +81,11 @@ bench-reshard:
 ## throughput over every registered scenario (asserts >=3x geomean).
 bench-storage:
 	$(PY) -m pytest benchmarks/bench_storage.py -q
+
+## Maintained ring aggregates vs enumerate-and-fold at 10k-group scale
+## (asserts >=5x read latency) plus subscription payload-bytes comparison.
+bench-aggregates:
+	$(PY) -m pytest benchmarks/bench_aggregates.py -q
 
 ## Re-run every asserted benchmark claim at reduced scale (the CI gate).
 bench-gate:

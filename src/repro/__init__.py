@@ -33,6 +33,7 @@ from repro.query.atom import Atom, atom
 from repro.query.classes import classify
 from repro.query.conjunctive import ConjunctiveQuery, query
 from repro.query.parser import parse_query
+from repro.rings import AggregateSpec, Ring, get_ring, ring_names
 from repro.sharding import ShardedEngine
 from repro.widths.dynamic_width import dynamic_width
 from repro.widths.static_width import static_width
@@ -41,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveController",
+    "AggregateSpec",
     "Atom",
     "ConjunctiveQuery",
     "Database",
@@ -48,6 +50,7 @@ __all__ = [
     "EngineServer",
     "HierarchicalEngine",
     "Relation",
+    "Ring",
     "ShardedEngine",
     "Snapshot",
     "StaticEngine",
@@ -58,8 +61,10 @@ __all__ = [
     "atom",
     "classify",
     "dynamic_width",
+    "get_ring",
     "parse_query",
     "query",
+    "ring_names",
     "static_width",
     "__version__",
 ]

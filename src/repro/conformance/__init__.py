@@ -15,15 +15,17 @@ every ε.  This package turns that claim into an executable oracle:
 * :mod:`repro.conformance.runner` executes one workload through
   :class:`~repro.core.api.HierarchicalEngine` across an ε grid — single-tuple
   and batched paths — plus all four baselines, and diffs full results, result
-  deltas, enumeration invariants, and internal structure invariants at every
-  checkpoint; its kill-mid-batch mode (:func:`run_crash_recovery_case`)
+  deltas, enumeration invariants, internal structure invariants, and
+  ring-aggregate answers (maintained, enumerate-and-fold, and snapshot
+  paths against the fold over the oracle) at every checkpoint; its kill-mid-batch mode (:func:`run_crash_recovery_case`)
   crashes a *durable* engine at a case-deterministic fault-injection point,
   recovers it from checkpoint + WAL, replays the rest of the workload, and
   diffs the outcome against the naive oracle and a never-crashed twin;
 * :mod:`repro.conformance.metamorphic` states the metamorphic properties
   (insert-then-delete is a no-op, permuting a consolidated batch is
   result-invariant, a partitioned stream equals the whole, shard-merged
-  execution is indistinguishable from a single engine) checked both by the
+  execution is indistinguishable from a single engine, maintained
+  aggregates equal the fold over the oracle) checked both by the
   Hypothesis test-suite and the fuzzer;
 * :mod:`repro.conformance.shrink` reduces a failing case to a minimal repro
   and serializes it to a JSON file that ``tools/fuzz.py --repro`` replays.
@@ -34,6 +36,7 @@ subset runs in tier-1 CI (``tests/test_conformance_*.py``).
 
 from repro.conformance.datagen import DataProfile, random_database, random_update_stream
 from repro.conformance.metamorphic import (
+    check_aggregate_equivalence,
     check_batch_permutation_invariance,
     check_insert_delete_noop,
     check_partition_union,
@@ -53,6 +56,7 @@ from repro.conformance.runner import (
     ConformanceError,
     ConformanceReport,
     Mismatch,
+    aggregate_specs_for,
     case_failure,
     count_crash_sites,
     crash_recovery_failure,
@@ -68,7 +72,9 @@ __all__ = [
     "DataProfile",
     "LabeledQuery",
     "Mismatch",
+    "aggregate_specs_for",
     "case_failure",
+    "check_aggregate_equivalence",
     "check_batch_permutation_invariance",
     "check_insert_delete_noop",
     "check_partition_union",

@@ -32,7 +32,13 @@ DBToaster lineage classically check):
   to ``k′`` shards (``ShardedEngine.reshard``) must leave it result- and
   order-equivalent to a fresh ``k′``-shard deployment fed the same stream,
   through the whole remaining suffix, while a snapshot captured *before*
-  the reshard keeps enumerating its exact capture forever.
+  the reshard keeps enumerating its exact capture forever;
+* **maintained aggregates equal the fold** — at every checkpoint of a
+  segmented stream, ``engine.aggregate()`` answered from maintained ring
+  state must equal :func:`repro.rings.spec.fold_result` over the naive
+  oracle's enumeration — across an ε grid, through a mid-stream retune,
+  on both relation-storage backends, and through the sharded facade's
+  per-shard partial-aggregate merge at shard counts {1, 2, 4}.
 
 Each check takes an ``engine_factory`` so it runs identically against
 :class:`~repro.core.api.HierarchicalEngine` at any ε and against every
@@ -46,12 +52,16 @@ from __future__ import annotations
 import random
 from typing import Callable, Sequence
 
+from repro.conformance.runner import aggregate_specs_for
 from repro.core.api import HierarchicalEngine
 from repro.core.planner import is_shardable
 from repro.data.database import Database
+from repro.data.relation import storage_backend
 from repro.data.update import Update
 from repro.enumeration.union import sort_shard_result
 from repro.exceptions import UnsupportedQueryError
+from repro.query.parser import parse_query
+from repro.rings.spec import answer_map, fold_result
 from repro.sharding import ShardedEngine
 
 EngineFactory = Callable[[], object]
@@ -453,3 +463,126 @@ def check_snapshot_isolation(
             snapshot.close()
         sharded.check_invariants()
         sharded.close()
+
+
+def check_aggregate_equivalence(
+    query: str,
+    epsilons: Sequence[float],
+    database: Database,
+    updates: Sequence[Update],
+    shard_counts: Sequence[int] = (1, 2, 4),
+    segments: int = 3,
+    extra_specs: Sequence = (),
+) -> None:
+    """``engine.aggregate()`` equals the fold over the oracle — everywhere.
+
+    The single fold definition (:func:`repro.rings.spec.fold_result` over
+    the naive oracle's enumeration) is the ground truth.  Against it, at
+    checkpoint 0 and after every segment of the stream:
+
+    * a :class:`HierarchicalEngine` per ε of ``epsilons`` answers every
+      spec of the generic set (plus ``extra_specs``) from *maintained*
+      ring state — the specs are registered before any update, so the
+      answers come from incremental maintenance, never a re-fold — and
+      the ``maintained=False`` enumerate-and-fold path is probed too;
+    * one engine runs entirely on the ``dict`` relation-storage backend,
+      so both payload-channel implementations face the same stream;
+    * the sharded facade at every ``shard_counts`` answers by merging
+      per-shard partial aggregates with ring ``combine`` — grouped
+      aggregation must be a homomorphism of the shard decomposition;
+    * at the halfway checkpoint every engine **retunes** to a different ε
+      mid-stream, so the strict repartition must carry payloads through
+      unchanged (retraction-sensitive rings like min/max included).
+
+    ``extra_specs`` takes ``(ring name, value, group_by)`` triples, e.g. a
+    scenario's natural aggregates.  Non-hierarchical queries are skipped
+    (the engines under test reject them at the fragment gate).
+    """
+    try:
+        probe = HierarchicalEngine(query)
+    except UnsupportedQueryError:
+        return
+    head = tuple(parse_query(query).head)
+    specs = aggregate_specs_for(head, extra_specs)
+    epsilons = tuple(epsilons) or (0.5,)
+    batches = _segments(updates, segments)
+    cut = max(1, len(batches) // 2)
+
+    from repro.baselines.naive import NaiveRecomputeEngine
+
+    oracle = NaiveRecomputeEngine(query)
+    oracle.load(database)
+
+    def _fold_oracle() -> list:
+        pairs = list(dict(oracle.result()).items())
+        return [answer_map(s, fold_result(s, head, pairs)) for s in specs]
+
+    truths = [_fold_oracle()]
+    for batch in batches:
+        oracle.apply_batch(batch)
+        truths.append(_fold_oracle())
+
+    mid = epsilons[len(epsilons) // 2]
+    engines = [
+        (f"ivm(eps={eps})", HierarchicalEngine(query, epsilon=eps).load(database))
+        for eps in epsilons
+    ]
+    with storage_backend("dict"):
+        # database rebuilt inside the context so relations, partitions,
+        # and views all live on the dict backend (mirrors the runner)
+        dict_database = Database()
+        for relation in database:
+            clone = dict_database.create_relation(relation.name, tuple(relation.schema))
+            for tup, mult in relation.items():
+                clone.apply_delta(tuple(tup), mult)
+        engines.append(
+            (
+                f"ivm-dict-storage(eps={mid})",
+                HierarchicalEngine(query, epsilon=mid).load(dict_database),
+            )
+        )
+    if is_shardable(probe.query):
+        for shards in shard_counts:
+            engines.append(
+                (
+                    f"sharded(n={shards},eps={mid})",
+                    ShardedEngine(
+                        query, shards=shards, epsilon=mid, executor="serial"
+                    ).load(database),
+                )
+            )
+    for _name, engine in engines:
+        for spec in specs:
+            engine.register_aggregate(spec)
+
+    def check(checkpoint: int) -> None:
+        expected_list = truths[checkpoint]
+        for name, engine in engines:
+            for spec, expected in zip(specs, expected_list):
+                observed = engine.aggregate(spec)
+                assert observed == expected, (
+                    f"{name} at checkpoint {checkpoint}: maintained "
+                    f"{spec.describe()} aggregate diverges from the fold "
+                    f"over the oracle ({len(observed)} vs "
+                    f"{len(expected)} groups)"
+                )
+            folded = engine.aggregate(specs[0], maintained=False)
+            assert folded == expected_list[0], (
+                f"{name} at checkpoint {checkpoint}: enumerate-and-fold "
+                f"{specs[0].describe()} aggregate diverges from the oracle"
+            )
+
+    check(0)
+    for number, batch in enumerate(batches, start=1):
+        for _name, engine in engines:
+            engine.apply_batch(batch)
+        if number == cut:
+            for _name, engine in engines:
+                # a target guaranteed distinct from the live ε, so the
+                # retune is a genuine strict repartition
+                engine.retune(0.25 if abs(engine.epsilon - 0.25) > 1e-9 else 0.75)
+        check(number)
+    for _name, engine in engines:
+        engine.check_invariants()
+        if isinstance(engine, ShardedEngine):
+            engine.close()

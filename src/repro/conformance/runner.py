@@ -34,6 +34,18 @@ must still match the oracle's capture-time result even though the engine
 has since ingested another segment (rebalances included).  Shrunk repro
 JSON files therefore replay snapshot reads exactly like live reads.
 
+Every checkpoint also diffs **aggregate answers**: a generic spec set
+derived from the query head (:func:`aggregate_specs_for` — counting grouped
+by the first head variable, a global sum and a grouped max over the last
+head position) plus any case-specific ``(ring, value, group_by)`` triples
+(``ConformanceCase.aggregates``, fed by the scenario matrix) is registered
+on every dynamic engine, so ``engine.aggregate()`` answers from maintained
+ring state — across segments, the retune, and the reshard — and must equal
+the one true fold (:func:`repro.rings.spec.fold_result`) over the oracle's
+result.  The enumerate-and-fold path (``maintained=False``), the fresh
+snapshot's frozen aggregate, and the *held* snapshot's aggregate after
+further segments are diffed the same way.
+
 At one case-deterministic checkpoint, every dynamic IVM engine (single and
 sharded) additionally **retunes** to a different ε mid-case
 (:meth:`~repro.core.api.HierarchicalEngine.retune`) — so every fuzzed
@@ -87,6 +99,7 @@ from repro.exceptions import (
 from repro.query.classes import classify
 from repro.query.hypergraph import is_free_connex
 from repro.query.parser import parse_query
+from repro.rings.spec import AggregateSpec, answer_map, fold_result
 from repro.sharding import ShardedEngine
 
 DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 0.5, 1.0)
@@ -117,6 +130,10 @@ class ConformanceCase:
     updates: List[Tuple[str, ValueTuple, int]]
     epsilons: Tuple[float, ...] = DEFAULT_EPSILONS
     checkpoints: int = 4
+    #: Case-specific ``(ring name, value selector, group_by)`` triples —
+    #: diffed at every checkpoint next to the generic spec set.  Scenario
+    #: cases carry the scenario's natural aggregates here.
+    aggregates: Tuple[Tuple[str, object, Tuple[str, ...]], ...] = ()
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -127,6 +144,7 @@ class ConformanceCase:
         stream: UpdateStream,
         epsilons: Sequence[float] = DEFAULT_EPSILONS,
         checkpoints: int = 4,
+        aggregates: Sequence[Tuple[str, object, Sequence[str]]] = (),
     ) -> "ConformanceCase":
         """Capture a database + stream into a replayable case."""
         relations = {
@@ -143,6 +161,9 @@ class ConformanceCase:
             updates=updates,
             epsilons=tuple(epsilons),
             checkpoints=checkpoints,
+            aggregates=tuple(
+                (ring, value, tuple(group_by)) for ring, value, group_by in aggregates
+            ),
         )
 
     def database(self) -> Database:
@@ -166,19 +187,25 @@ class ConformanceCase:
 
     # -- serialization -----------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "query": self.query,
-                "relations": {
-                    name: {"schema": list(schema), "rows": [[list(t), m] for t, m in rows]}
-                    for name, (schema, rows) in self.relations.items()
-                },
-                "updates": [[rel, list(tup), mult] for rel, tup, mult in self.updates],
-                "epsilons": list(self.epsilons),
-                "checkpoints": self.checkpoints,
+        payload = {
+            "query": self.query,
+            "relations": {
+                name: {"schema": list(schema), "rows": [[list(t), m] for t, m in rows]}
+                for name, (schema, rows) in self.relations.items()
             },
-            indent=2,
-        )
+            "updates": [[rel, list(tup), mult] for rel, tup, mult in self.updates],
+            "epsilons": list(self.epsilons),
+            "checkpoints": self.checkpoints,
+        }
+        if self.aggregates:
+            # omitted when empty so the digests (and with them the
+            # case-deterministic retune/reshard/crash choices) of every
+            # pre-existing repro file stay exactly what they were
+            payload["aggregates"] = [
+                [ring, list(value) if isinstance(value, tuple) else value, list(group_by)]
+                for ring, value, group_by in self.aggregates
+            ]
+        return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ConformanceCase":
@@ -195,6 +222,10 @@ class ConformanceCase:
             updates=[(rel, tuple(tup), mult) for rel, tup, mult in raw["updates"]],
             epsilons=tuple(raw["epsilons"]),
             checkpoints=raw["checkpoints"],
+            aggregates=tuple(
+                (ring, tuple(value) if isinstance(value, list) else value, tuple(group_by))
+                for ring, value, group_by in raw.get("aggregates") or ()
+            ),
         )
 
 
@@ -256,6 +287,9 @@ class _Runner:
         # the held snapshot must still enumerate exactly this result.
         self.held_snapshot = None
         self.held_truth: ResultDict = {}
+        # The first aggregate spec's oracle answers at capture time: the
+        # held snapshot's frozen aggregate must keep answering exactly this.
+        self.held_agg_truth: Dict = {}
 
     def ingest(self, segment: List[Update]) -> None:
         if self.batched:
@@ -302,6 +336,62 @@ def _delta(previous: ResultDict, current: ResultDict) -> ResultDict:
         if tup not in current:
             delta[tup] = -mult
     return delta
+
+
+def aggregate_specs_for(
+    head: Sequence[str],
+    extras: Sequence[Tuple[str, object, Sequence[str]]] = (),
+) -> List[AggregateSpec]:
+    """The aggregate specs a differential run diffs for a query head.
+
+    The generic set — counting grouped by the first head variable, a
+    global sum over the last head position, and a max over the last head
+    position grouped by the first — covers the three ring families with
+    distinct retraction behaviour (support-only, exact cancellation,
+    re-derivation) on any head; both the fuzzer's datagen and the
+    workload scenarios use integer domains, so sum/max over a head column
+    are always well-typed.  ``extras`` appends case-specific
+    ``(ring, value, group_by)`` triples; duplicates collapse by spec key.
+    """
+    head = tuple(head)
+    specs: List[AggregateSpec] = []
+    if head:
+        last = len(head) - 1
+        specs.append(AggregateSpec("counting", None, (head[0],)))
+        specs.append(AggregateSpec("sum", last, ()))
+        specs.append(AggregateSpec("max", last, (head[0],)))
+    else:
+        specs.append(AggregateSpec("counting"))
+    for ring, value, group_by in extras:
+        specs.append(AggregateSpec(ring, value, tuple(group_by)))
+    unique: Dict[Tuple, AggregateSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.key(), spec)
+    return list(unique.values())
+
+
+def _diff_answers(expected: Dict, actual: Dict, limit: int = 5) -> Optional[str]:
+    """Human-readable diff of two ``{group: answer}`` maps (None when equal)."""
+    if expected == actual:
+        return None
+    problems: List[str] = []
+    for group in expected:
+        if group not in actual:
+            problems.append(f"missing group {group!r} (expected {expected[group]!r})")
+        elif actual[group] != expected[group]:
+            problems.append(
+                f"group {group!r} answered {actual[group]!r}, "
+                f"expected {expected[group]!r}"
+            )
+        if len(problems) >= limit:
+            break
+    if len(problems) < limit:
+        for group in actual:
+            if group not in expected:
+                problems.append(f"extra group {group!r} (answer {actual[group]!r})")
+            if len(problems) >= limit:
+                break
+    return "; ".join(problems) or "aggregate answers differ"
 
 
 def _check_enumeration(
@@ -459,6 +549,11 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
 
     runners, oracle = _build_runners(case, supported, is_free_connex(query))
     segments = case.segments()
+    head_vars = tuple(query.head)
+    # Aggregate differential: the generic spec set plus the case's own
+    # triples, answered from maintained ring state on every dynamic engine
+    # at every checkpoint and diffed against the fold over the oracle.
+    agg_specs = aggregate_specs_for(head_vars, case.aggregates) if supported else []
 
     # Retune rehearsal: at one pseudo-random (but case-deterministic, so
     # seeds and shrunk repros replay identically) checkpoint, every dynamic
@@ -513,6 +608,10 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                         engine.reshard(target)
         truth = dict(oracle.result())
         truth_delta = _delta(oracle_previous, truth)
+        agg_truth = [
+            answer_map(spec, fold_result(spec, head_vars, truth.items()))
+            for spec in agg_specs
+        ]
         for runner in runners:
             observed = runner.result()
             diff = _diff(truth, observed)
@@ -549,6 +648,36 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                     mismatches.append(
                         Mismatch(runner.name, checkpoint, "invariant", str(exc))
                     )
+                # Aggregate differential: every spec's maintained answer
+                # (registered on first use, then carried by ring-delta
+                # maintenance through segments, the retune, and the
+                # reshard) must equal the fold over the oracle's result;
+                # the enumerate-and-fold path is diffed once per
+                # checkpoint on the first spec.
+                for spec, expected_answers in zip(agg_specs, agg_truth):
+                    answer_diff = _diff_answers(expected_answers, engine.aggregate(spec))
+                    if answer_diff is not None:
+                        mismatches.append(
+                            Mismatch(
+                                runner.name,
+                                checkpoint,
+                                "aggregate",
+                                f"{spec.describe()}: {answer_diff}",
+                            )
+                        )
+                if agg_specs:
+                    fold_diff = _diff_answers(
+                        agg_truth[0], engine.aggregate(agg_specs[0], maintained=False)
+                    )
+                    if fold_diff is not None:
+                        mismatches.append(
+                            Mismatch(
+                                runner.name,
+                                checkpoint,
+                                "aggregate-fold",
+                                f"{agg_specs[0].describe()}: {fold_diff}",
+                            )
+                        )
                 # Snapshot isolation: the snapshot held since the previous
                 # checkpoint must still enumerate the oracle's result *at
                 # capture time*, even though this checkpoint's segment has
@@ -568,6 +697,21 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                                 f"oracle result: {stale_diff}",
                             )
                         )
+                    if agg_specs:
+                        stale_agg_diff = _diff_answers(
+                            runner.held_agg_truth,
+                            runner.held_snapshot.aggregate(agg_specs[0]),
+                        )
+                        if stale_agg_diff is not None:
+                            mismatches.append(
+                                Mismatch(
+                                    runner.name,
+                                    checkpoint,
+                                    "aggregate-isolation",
+                                    f"held snapshot's {agg_specs[0].describe()} "
+                                    f"aggregate drifted: {stale_agg_diff}",
+                                )
+                            )
                     runner.held_snapshot.close()
                 snapshot = engine.snapshot()
                 snapshot_diff = _diff(truth, dict(snapshot.result()))
@@ -577,8 +721,22 @@ def run_case(case: ConformanceCase, max_mismatches: int = 20) -> ConformanceRepo
                             runner.name, checkpoint, "snapshot", snapshot_diff
                         )
                     )
+                if agg_specs:
+                    snap_agg_diff = _diff_answers(
+                        agg_truth[0], snapshot.aggregate(agg_specs[0])
+                    )
+                    if snap_agg_diff is not None:
+                        mismatches.append(
+                            Mismatch(
+                                runner.name,
+                                checkpoint,
+                                "aggregate-snapshot",
+                                f"{agg_specs[0].describe()}: {snap_agg_diff}",
+                            )
+                        )
                 runner.held_snapshot = snapshot
                 runner.held_truth = truth
+                runner.held_agg_truth = agg_truth[0] if agg_specs else {}
             if len(mismatches) >= max_mismatches:
                 return ConformanceReport(
                     query=case.query,

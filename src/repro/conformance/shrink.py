@@ -22,6 +22,7 @@ The shrunk case is written as a JSON repro file via :func:`write_repro`;
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
@@ -31,13 +32,7 @@ FailurePredicate = Callable[[ConformanceCase], Optional[Mismatch]]
 
 
 def _with_updates(case: ConformanceCase, updates: List) -> ConformanceCase:
-    return ConformanceCase(
-        query=case.query,
-        relations=case.relations,
-        updates=updates,
-        epsilons=case.epsilons,
-        checkpoints=case.checkpoints,
-    )
+    return replace(case, updates=updates)
 
 
 def _with_relations(case: ConformanceCase, flat_rows: List) -> ConformanceCase:
@@ -45,13 +40,7 @@ def _with_relations(case: ConformanceCase, flat_rows: List) -> ConformanceCase:
         name: (schema, [row for rel, row in flat_rows if rel == name])
         for name, (schema, _rows) in case.relations.items()
     }
-    return ConformanceCase(
-        query=case.query,
-        relations=relations,
-        updates=case.updates,
-        epsilons=case.epsilons,
-        checkpoints=case.checkpoints,
-    )
+    return replace(case, relations=relations)
 
 
 def _shrink_list(
@@ -113,23 +102,23 @@ def shrink_case(
     for epsilon in list(case.epsilons):
         if len(case.epsilons) <= 1 or budget[0] <= 0:
             break
-        reduced = ConformanceCase(
-            query=case.query,
-            relations=case.relations,
-            updates=case.updates,
-            epsilons=tuple(e for e in case.epsilons if e != epsilon),
-            checkpoints=case.checkpoints,
+        reduced = replace(
+            case, epsilons=tuple(e for e in case.epsilons if e != epsilon)
         )
         budget[0] -= 1
         if fails(reduced) is not None:
             case = reduced
     if case.checkpoints > 1 and budget[0] > 0:
-        reduced = ConformanceCase(
-            query=case.query,
-            relations=case.relations,
-            updates=case.updates,
-            epsilons=case.epsilons,
-            checkpoints=1,
+        reduced = replace(case, checkpoints=1)
+        budget[0] -= 1
+        if fails(reduced) is not None:
+            case = reduced
+    # drop case-specific aggregate triples that aren't needed for the failure
+    for triple in list(case.aggregates):
+        if budget[0] <= 0:
+            break
+        reduced = replace(
+            case, aggregates=tuple(a for a in case.aggregates if a != triple)
         )
         budget[0] -= 1
         if fails(reduced) is not None:

@@ -80,6 +80,8 @@ from repro.core.planner import (
     instantiate_plan,
     plan_query,
 )
+from repro.rings.base import Ring
+from repro.rings.spec import AggregateSpec, MaintainedAggregate
 from repro.snapshot.cow import CowTracker
 from repro.snapshot.versioned import Snapshot, capture_snapshot
 from repro.views.build import DYNAMIC_MODE, STATIC_MODE
@@ -135,6 +137,12 @@ class HierarchicalEngine:
         # load() so a serving layer that enabled it keeps receiving
         # per-commit deltas across reloads.
         self._capture_deltas = False
+        # Maintained aggregates keyed by AggregateSpec.key().  Each state
+        # folds the per-commit result deltas of the maintenance layer into
+        # {group: (support, ring element)}; like the capture flag above,
+        # the registry survives load()/recovery — the states are refolded
+        # from a fresh enumeration and re-subscribed to the new driver.
+        self._aggregates: Dict[Tuple, MaintainedAggregate] = {}
         self._cow_tracker: Optional[CowTracker] = None
         # Durability: a directory (or DurabilityConfig) makes every accepted
         # update/batch/retune a fsynced WAL record and every Nth commit a
@@ -294,6 +302,7 @@ class HierarchicalEngine:
             self._driver = None
             self._static_threshold_base = max(1.0, float(self._database.size))
         materialize_plan(self._skew_plan, self.threshold)
+        self._reattach_aggregates()
         self.preprocessing_seconds = time.perf_counter() - started
         if self.durability is not None:
             if self._durability is not None:
@@ -340,6 +349,7 @@ class HierarchicalEngine:
         if self.telemetry is not None and state.get("telemetry"):
             self.telemetry.restore_state(state["telemetry"])
         materialize_plan(self._skew_plan, self.threshold)
+        self._reattach_aggregates()
         self.preprocessing_seconds = time.perf_counter() - started
 
     def _attach_durability(self, manager: DurabilityManager) -> None:
@@ -591,6 +601,142 @@ class HierarchicalEngine:
         if self._driver is None:
             return {}
         return self._driver.drain_result_delta()
+
+    # ------------------------------------------------------------------
+    # ring-annotated aggregates
+    # ------------------------------------------------------------------
+    def _coerce_spec(
+        self, ring: Union[Ring, str, AggregateSpec], value, group_by
+    ) -> AggregateSpec:
+        if isinstance(ring, AggregateSpec):
+            if value is not None or group_by is not None:
+                raise ValueError(
+                    "pass either an AggregateSpec or ring/value/group_by, "
+                    "not both"
+                )
+            return ring
+        return AggregateSpec(ring, value, group_by)
+
+    def _aggregate_listener(self, state: MaintainedAggregate):
+        def _on_delta(delta: Dict[ValueTuple, int]) -> None:
+            state.on_delta(delta.items())
+
+        return _on_delta
+
+    def _reattach_aggregates(self) -> None:
+        """Refold and re-subscribe maintained aggregates after a (re)load.
+
+        Every load rebuilds the maintenance driver, dropping its delta
+        listeners; the spec registry lives on the engine, so — mirroring
+        how ``_capture_deltas`` is re-applied above — each state is
+        refolded from one fresh enumeration of the new database and
+        re-registered with the new driver.  The internal enumeration
+        bypasses telemetry: rebuilds are preprocessing, not workload reads.
+        """
+        if not self._aggregates:
+            return
+        if self._driver is None:
+            # A static reload cannot maintain state; drop the registry so
+            # reads fall back to enumerate-and-fold instead of serving a
+            # frozen aggregate as if it were live.
+            self._aggregates.clear()
+            return
+        assert self._skew_plan is not None
+        for state in self._aggregates.values():
+            state.rebuild(ResultEnumerator(self._skew_plan, self.query))
+            self._driver.add_delta_listener(self._aggregate_listener(state))
+
+    def register_aggregate(self, spec: AggregateSpec) -> MaintainedAggregate:
+        """Install (or fetch) the maintained state for ``spec``.
+
+        First registration costs one enumerate-and-fold over the current
+        result; afterwards every commit updates the state in O(delta) via
+        the maintenance layer's result-delta listeners, and reads are
+        O(groups) — no enumeration.  The registry is keyed by
+        :meth:`~repro.rings.spec.AggregateSpec.key`, so registering the
+        same spec twice returns the same state.  Dynamic mode only.
+        """
+        self._require_dynamic()
+        assert self._driver is not None and self._skew_plan is not None
+        key = spec.key()
+        state = self._aggregates.get(key)
+        if state is None:
+            state = MaintainedAggregate(spec, self.query.head)
+            state.rebuild(ResultEnumerator(self._skew_plan, self.query))
+            self._driver.add_delta_listener(self._aggregate_listener(state))
+            self._aggregates[key] = state
+        return state
+
+    @property
+    def registered_aggregates(self) -> Tuple[AggregateSpec, ...]:
+        """Specs currently maintained by this engine (registration order)."""
+        return tuple(state.spec for state in self._aggregates.values())
+
+    def aggregate(
+        self,
+        ring: Union[Ring, str, AggregateSpec],
+        value=None,
+        group_by=None,
+        *,
+        maintained: bool = True,
+    ) -> Dict[ValueTuple, Any]:
+        """Answer one aggregate over the query result as ``{group: answer}``.
+
+        ``ring`` is a :class:`~repro.rings.base.Ring` (or registered ring
+        name, or a prebuilt :class:`~repro.rings.spec.AggregateSpec`);
+        ``value`` selects what each result tuple contributes (a head
+        variable name/position, a tuple of them, a local callable, or
+        ``None`` for count-style rings); ``group_by`` names the head
+        variables forming the group key (``None`` = one global group,
+        keyed ``()``)::
+
+            engine.aggregate("sum", value="price", group_by="region")
+            engine.aggregate("max", value="score")      # {(): best score}
+
+        With ``maintained=True`` (the default, dynamic mode) the spec is
+        registered once and answered from its maintained state in
+        O(groups), exact across updates, batches, rebalances, retunes,
+        and recovery.  With ``maintained=False`` — and always in static
+        mode — the answer is one enumerate-and-fold over a fresh
+        enumerator, which also serves as the oracle the conformance
+        harness checks maintained answers against.  Both paths record
+        their read cost into the engine's workload telemetry.
+        """
+        self._require_loaded()
+        spec = self._coerce_spec(ring, value, group_by)
+        if not maintained or self.mode != DYNAMIC_MODE or self._driver is None:
+            return self.enumerate().aggregate(spec)
+        state = self.register_aggregate(spec)
+        started = time.perf_counter()
+        answers = state.answers()
+        if self.telemetry is not None:
+            self.telemetry.record_read(
+                len(answers), time.perf_counter() - started
+            )
+        return answers
+
+    def aggregate_elements(
+        self, spec: AggregateSpec, maintained: bool = True
+    ) -> Dict[ValueTuple, Tuple[int, Any]]:
+        """Raw ``{group: (support, element)}`` for this engine's result.
+
+        The shard-merge / wire shape: supports and un-finalized ring
+        elements, combinable across engines with
+        :func:`repro.enumeration.union.merge_shard_aggregates`.  The
+        sharded facade and the shard servers call this; local callers
+        normally want :meth:`aggregate`.
+        """
+        self._require_loaded()
+        if maintained and self.mode == DYNAMIC_MODE and self._driver is not None:
+            state = self.register_aggregate(spec)
+            started = time.perf_counter()
+            elements = state.elements()
+            if self.telemetry is not None:
+                self.telemetry.record_read(
+                    len(elements), time.perf_counter() - started
+                )
+            return elements
+        return self.enumerate().aggregate_elements(spec)
 
     # ------------------------------------------------------------------
     # adaptive retuning

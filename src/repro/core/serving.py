@@ -456,6 +456,23 @@ class EngineServer:
         self.stats.count_read()
         return ReadTicket(version=version, pairs=pairs)
 
+    def aggregate(self, spec, maintained: bool = True):
+        """One consistent aggregate read: ``(version, {group: (support, element)})``.
+
+        Commits mutate the engine's maintained aggregate state under the
+        write lock, so the read takes it too (in *both* serving modes) —
+        the returned elements and version always belong to one committed
+        engine state.  Maintained reads are O(groups), so the lock hold is
+        brief even when the result itself is huge; the networked server's
+        aggregate ops and subscription resyncs all come through here.
+        """
+        self.check_writer()
+        with self._write_lock:
+            version = getattr(self.engine, "version", 0)
+            elements = self.engine.aggregate_elements(spec, maintained=maintained)
+        self.stats.count_read()
+        return version, elements
+
     def run_readers(
         self,
         count: int,

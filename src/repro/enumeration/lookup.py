@@ -34,6 +34,33 @@ def _direct_lookup(
     return total
 
 
+def lookup_head_multiplicity(
+    component_trees, head, tup
+) -> int:
+    """Multiplicity of one fully-specified head tuple across components.
+
+    The point-lookup counterpart of full enumeration: per connected
+    component, the tuple's multiplicity is the sum over that component's
+    strategy trees (their valuations are disjoint, exactly as in the Union
+    algorithm); across components it is the product (the Product
+    algorithm with every variable fixed).  Cost is a constant number of
+    view lookups plus heavy-indicator passes — never an enumeration — so
+    the aggregate answer path can probe single groups within the
+    ``O(N^{1−ε})`` budget of Proposition 22.
+    """
+    assignment = dict(zip(head, tup))
+    free = frozenset(head)
+    total = 1
+    for trees in component_trees:
+        component_total = 0
+        for tree in trees:
+            component_total += lookup_multiplicity(tree, free, assignment)
+        if component_total == 0:
+            return 0
+        total *= component_total
+    return total
+
+
 def lookup_multiplicity(
     tree: ViewTreeNode,
     free: FrozenSet[str],

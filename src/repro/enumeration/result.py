@@ -18,9 +18,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.data.schema import ValueTuple
 from repro.enumeration.iterators import TreeIterator, build_iterator
-from repro.enumeration.lookup import lookup_multiplicity
+from repro.enumeration.lookup import lookup_head_multiplicity, lookup_multiplicity
 from repro.enumeration.union import UnionIterator, UnionSource
+from repro.exceptions import SchemaError
 from repro.query.conjunctive import ConjunctiveQuery
+from repro.rings.spec import AggregateSpec, answer_map, fold_result
 from repro.views.skew import SkewAwarePlan
 from repro.views.view import ViewTreeNode
 
@@ -145,6 +147,62 @@ class ResultEnumerator:
             return key
         assignment = dict(zip(out_vars, key))
         return tuple(assignment[v] for v in self.head)
+
+    # ------------------------------------------------------------------
+    # aggregation (the enumerate-and-fold answer path)
+    # ------------------------------------------------------------------
+    def aggregate_elements(self, spec: AggregateSpec):
+        """Fold the enumeration into raw ``{group: (support, element)}``.
+
+        This is the enumerate-and-fold path: O(result) per call, but exact
+        at any ε and the oracle every maintained answer is checked against.
+        Iterating through ``self`` keeps the validator and telemetry
+        semantics of a paged enumeration (the fold's read cost is recorded
+        like any other full read).
+        """
+        return fold_result(spec, self.head, self)
+
+    def aggregate(self, spec: AggregateSpec) -> Dict[ValueTuple, object]:
+        """User-facing ``{group: answer}`` by enumerate-and-fold."""
+        return answer_map(spec, self.aggregate_elements(spec))
+
+    def aggregate_group(self, spec: AggregateSpec, group: ValueTuple):
+        """Point aggregate of one group when the group key covers the head.
+
+        Returns ``(support, answer)``.  Only specs whose ``group_by`` is a
+        permutation of the full head qualify — the group then *is* a result
+        tuple, so its support comes from constant-time view lookups
+        (:func:`~repro.enumeration.lookup.lookup_head_multiplicity`)
+        instead of an enumeration.  An absent group answers the ring's
+        zero answer with support 0.
+        """
+        positions = spec.group_positions(self.head)
+        if sorted(positions) != list(range(len(self.head))):
+            raise SchemaError(
+                f"point aggregate lookups need group_by to cover the full "
+                f"head {self.head!r}; got {spec.group_by!r}"
+            )
+        if len(group) != len(positions):
+            raise SchemaError(
+                f"group {group!r} does not match group_by {spec.group_by!r}"
+            )
+        self._check_valid()
+        started = time.perf_counter()
+        head_tup: List[object] = [None] * len(self.head)
+        for value, position in zip(group, positions):
+            head_tup[position] = value
+        tup = tuple(head_tup)
+        ring = spec.ring
+        support = lookup_head_multiplicity(
+            self.plan.component_trees, self.head, tup
+        )
+        if support == 0:
+            element = ring.zero()
+        else:
+            element = ring.lift(spec.value_extractor(self.head)(tup), support)
+        if self._telemetry is not None:
+            self._telemetry.record_read(1, time.perf_counter() - started)
+        return support, ring.answer(element)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[ValueTuple, int]:

@@ -18,7 +18,31 @@ from repro.data.schema import Schema, ValueTuple
 from repro.engine.join import BoundRelation, delta_join
 from repro.views.view import LeafNode, ViewNode, ViewTreeNode
 
+#: A delta maps tuples to *counting-ring* elements (signed multiplicities).
+#: The propagation below relies only on the abelian-group laws the counting
+#: ring shares with every ring in :mod:`repro.rings` — associativity,
+#: commutativity, identity (zero entries are dropped), and inverses
+#: (deletions are negated insertions).  Ring-valued aggregate payloads ride
+#: these same deltas: the maintenance layer hands each commit's result-level
+#: Delta to the registered aggregate listeners, which lift it into their
+#: ring via :meth:`repro.rings.Ring.lift`.
 Delta = Dict[ValueTuple, int]
+
+
+def merge_delta(accumulator: Delta, delta: Mapping[ValueTuple, int]) -> Delta:
+    """Fold ``delta`` into ``accumulator`` in place (group addition).
+
+    Entries that cancel to the identity are removed rather than stored as
+    zeros, keeping "absent" and "present at zero" indistinguishable — the
+    invariant every consumer of a drained delta relies on.
+    """
+    for tup, mult in delta.items():
+        updated = accumulator.get(tup, 0) + mult
+        if updated:
+            accumulator[tup] = updated
+        else:
+            accumulator.pop(tup, None)
+    return accumulator
 
 
 def propagate_delta(

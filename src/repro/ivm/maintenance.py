@@ -44,7 +44,7 @@ single ``None`` check per group.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.data.database import Database
 from repro.data.partition import Partition
@@ -56,7 +56,7 @@ from repro.exceptions import (
     UnsupportedQueryError,
 )
 from repro.engine.join import BoundRelation, delta_join
-from repro.ivm.delta import Delta, propagate_delta
+from repro.ivm.delta import Delta, merge_delta, propagate_delta
 from repro.query.atom import Atom
 from repro.views.indicators import IndicatorTriple
 from repro.views.skew import SkewAwarePlan
@@ -83,6 +83,12 @@ class UpdateProcessor:
         # shared with the batch processor and drained per commit by the
         # serving layer.
         self._result_capture: Optional[Delta] = None
+        # Result-delta listeners (ring-annotated aggregate views): each is
+        # called with every group-level first-order result delta as it is
+        # computed.  The delta is computed once and fanned out to the
+        # capture accumulator and every listener, so maintained aggregates
+        # and push subscriptions share one delta evaluation per group.
+        self._delta_listeners: List[Callable[[Delta], None]] = []
 
     # ------------------------------------------------------------------
     # result-delta capture
@@ -98,6 +104,27 @@ class UpdateProcessor:
     @property
     def capturing_deltas(self) -> bool:
         return self._result_capture is not None
+
+    def add_delta_listener(self, listener: Callable[[Delta], None]) -> None:
+        """Register a per-group result-delta consumer (aggregate views).
+
+        Listeners receive the same first-order deltas the capture
+        accumulator folds — called at the group-sequential point inside the
+        commit, so summing everything a listener sees over one commit gives
+        the commit's exact net result delta.  Listeners survive retunes and
+        rebalances (the processor persists; those reorganizations never
+        produce result deltas) but not :meth:`~repro.core.api.HierarchicalEngine.load`,
+        which rebuilds the processor — the engine re-registers its
+        aggregates there.
+        """
+        self._delta_listeners.append(listener)
+
+    def remove_delta_listener(self, listener: Callable[[Delta], None]) -> None:
+        """Unregister a listener added by :meth:`add_delta_listener`."""
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def drain_result_delta(self) -> Delta:
         """Return and clear the net result delta accumulated since last drain."""
@@ -117,7 +144,8 @@ class UpdateProcessor:
         ``δR`` for fixed sibling contents).
         """
         capture = self._result_capture
-        if capture is None:
+        listeners = self._delta_listeners
+        if capture is None and not listeners:
             return
         atom = self._atoms_by_relation[relation_name]
         siblings = [
@@ -128,12 +156,10 @@ class UpdateProcessor:
         delta = delta_join(
             atom.variables, group, siblings, tuple(self.query.head)
         )
-        for tup, mult in delta.items():
-            updated = capture.get(tup, 0) + mult
-            if updated:
-                capture[tup] = updated
-            else:
-                capture.pop(tup, None)
+        if capture is not None:
+            merge_delta(capture, delta)
+        for listener in listeners:
+            listener(delta)
 
     # ------------------------------------------------------------------
     # helpers

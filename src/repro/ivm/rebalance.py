@@ -144,6 +144,20 @@ class MaintenanceDriver:
         """Return and clear the net result delta accumulated since last drain."""
         return self.processor.drain_result_delta()
 
+    def add_delta_listener(self, listener) -> None:
+        """Register a result-delta listener (ring-annotated aggregate views).
+
+        Forwarded to the shared :class:`UpdateProcessor`, which persists
+        across retunes and rebalances — those reorganize views without
+        changing the result, so maintained aggregates stay exact through
+        them without re-initialization.
+        """
+        self.processor.add_delta_listener(listener)
+
+    def remove_delta_listener(self, listener) -> None:
+        """Unregister a listener added by :meth:`add_delta_listener`."""
+        self.processor.remove_delta_listener(listener)
+
     # ------------------------------------------------------------------
     @property
     def threshold(self) -> float:

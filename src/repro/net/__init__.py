@@ -19,6 +19,8 @@ See ``docs/architecture.md`` section 13 for the protocol contract, and
 """
 
 from repro.net.client import (
+    AggregateSubscription,
+    AggregateSubscriptionState,
     AsyncEngineClient,
     AsyncSubscription,
     EngineClient,
@@ -45,6 +47,8 @@ from repro.net.server import (
 )
 
 __all__ = [
+    "AggregateSubscription",
+    "AggregateSubscriptionState",
     "AsyncEngineClient",
     "AsyncSubscription",
     "ConnectionClosedError",

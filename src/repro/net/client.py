@@ -21,6 +21,12 @@ Both apply subscription pushes through one shared state machine,
 
 Applying every push in arrival order therefore reproduces the served
 result at every version the subscription observes.
+
+Aggregate subscriptions (:meth:`EngineClient.subscribe_aggregate`) follow
+the identical contract through :class:`AggregateSubscriptionState`, except
+the mirrored state is ``{group: (support, ring element)}`` and deltas
+merge by ring addition — the client holds O(groups) state and re-derives
+answers locally with the spec's ring.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.net.protocol import (
     wire_updates,
     write_frame,
 )
+from repro.rings.spec import AggregateSpec
 
 
 class SubscriptionState:
@@ -98,6 +105,144 @@ class SubscriptionState:
                     return False
                 self._changed.wait(remaining)
             return True
+
+    def apply_push(self, message: Dict) -> None:
+        kind = message.get("kind")
+        if kind == "delta":
+            self.apply(
+                "delta", int(message["version"]), unwire_pairs(message["delta"])
+            )
+        elif kind == "resync":
+            self.apply(
+                "resync", int(message["version"]), unwire_pairs(message["result"])
+            )
+
+
+class AggregateSubscriptionState:
+    """The client-side mirror of one aggregate subscription (thread-safe).
+
+    Mirrors ``{group: (support, ring element)}`` — the same shape
+    :class:`~repro.rings.spec.MaintainedAggregate` keeps server-side — by
+    applying the server's folded group deltas with ring addition.  A group
+    is present iff its support is positive; a zero element with live
+    support stays (its answer is the ring's zero answer).  The consistency
+    contract matches :class:`SubscriptionState` exactly: deltas apply iff
+    newer than the current version, resyncs replace wholesale.
+    """
+
+    def __init__(self, spec: AggregateSpec, version: int, rows) -> None:
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self.spec = spec
+        self.ring = spec.ring
+        self.version = version
+        self._elements: Dict[Tuple, Tuple[int, Any]] = self._unwire(rows)
+        self.deltas_applied = 0
+        self.deltas_skipped = 0
+        self.resyncs = 0
+        #: Every applied push, as ``(kind, version, rows)`` — kept so tests
+        #: can replay the exact pushed history against an oracle.
+        self.events: List[Tuple[str, int, List]] = []
+
+    def _unwire(self, rows) -> Dict[Tuple, Tuple[int, Any]]:
+        ring = self.ring
+        return {
+            tuple(group): (int(support), ring.from_wire(element))
+            for group, support, element in rows
+        }
+
+    def apply(self, kind: str, version: int, rows) -> bool:
+        """Apply one push (raw wire rows); returns True on a state change."""
+        with self._changed:
+            if kind == "resync":
+                self._elements = self._unwire(rows)
+                self.version = version
+                self.resyncs += 1
+                self.events.append(("resync", version, list(rows)))
+                self._changed.notify_all()
+                return True
+            if version <= self.version:
+                self.deltas_skipped += 1
+                return False
+            ring = self.ring
+            for group, support_delta, element_wire in rows:
+                group = tuple(group)
+                support, element = self._elements.get(group, (0, ring.zero()))
+                support += int(support_delta)
+                element = ring.add(element, ring.from_wire(element_wire))
+                if support > 0:
+                    self._elements[group] = (support, element)
+                else:
+                    self._elements.pop(group, None)
+            self.version = version
+            self.deltas_applied += 1
+            self.events.append(("delta", version, list(rows)))
+            self._changed.notify_all()
+            return True
+
+    def apply_push(self, message: Dict) -> None:
+        kind = message.get("kind")
+        if kind == "delta":
+            self.apply("delta", int(message["version"]), message["delta"])
+        elif kind == "resync":
+            self.apply("resync", int(message["version"]), message["result"])
+
+    def elements(self) -> Dict[Tuple, Tuple[int, Any]]:
+        """Raw ``{group: (support, element)}`` at the mirrored version."""
+        with self._lock:
+            return dict(self._elements)
+
+    def answers(self) -> Dict[Tuple, Any]:
+        """User-facing ``{group: answer}`` at the mirrored version."""
+        ring = self.ring
+        with self._lock:
+            return {
+                group: ring.answer(element)
+                for group, (_support, element) in self._elements.items()
+            }
+
+    def wait_for_version(self, version: int, timeout: float = 30.0) -> bool:
+        """Block until the mirrored state reaches ``version`` (or time out)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._changed:
+            while self.version < version:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._changed.wait(remaining)
+            return True
+
+
+class AggregateSubscription:
+    """Handle on one aggregate push subscription."""
+
+    def __init__(
+        self,
+        client: "EngineClient",
+        sid: int,
+        state: AggregateSubscriptionState,
+    ) -> None:
+        self._client = client
+        self.sid = sid
+        self.state = state
+
+    @property
+    def version(self) -> int:
+        return self.state.version
+
+    def elements(self) -> Dict[Tuple, Tuple[int, Any]]:
+        return self.state.elements()
+
+    def answers(self) -> Dict[Tuple, Any]:
+        return self.state.answers()
+
+    def wait_for_version(self, version: int, timeout: float = 30.0) -> bool:
+        return self.state.wait_for_version(version, timeout)
+
+    def close(self) -> None:
+        self._client.unsubscribe(self)
 
 
 class Subscription:
@@ -222,12 +367,10 @@ class EngineClient:
         self._apply_push(state, message)
 
     @staticmethod
-    def _apply_push(state: SubscriptionState, message: Dict) -> None:
-        kind = message.get("kind")
-        if kind == "delta":
-            state.apply("delta", int(message["version"]), unwire_pairs(message["delta"]))
-        elif kind == "resync":
-            state.apply("resync", int(message["version"]), unwire_pairs(message["result"]))
+    def _apply_push(state, message: Dict) -> None:
+        # Both state flavours (result mirror, aggregate mirror) parse and
+        # apply their own push payloads.
+        state.apply_push(message)
 
     def _request(self, op: str, **params) -> Dict[str, Any]:
         if self._closed:
@@ -270,6 +413,44 @@ class EngineClient:
         reply = self._request("lookup", tuple=list(tup))
         return int(reply["multiplicity"])
 
+    @staticmethod
+    def _coerce_spec(ring, value, group_by) -> AggregateSpec:
+        if isinstance(ring, AggregateSpec):
+            if value is not None or group_by is not None:
+                raise ValueError(
+                    "pass either an AggregateSpec or ring/value/group_by, "
+                    "not both"
+                )
+            return ring
+        return AggregateSpec(ring, value, group_by)
+
+    def aggregate_read(
+        self, ring, value=None, group_by=None, maintained: bool = True
+    ) -> Tuple[int, Dict[Tuple, Tuple[int, Any]]]:
+        """One served aggregate read: ``(version, {group: (support, element)})``."""
+        spec = self._coerce_spec(ring, value, group_by)
+        reply = self._request(
+            "aggregate", spec=spec.to_wire(), maintained=maintained
+        )
+        r = spec.ring
+        elements = {
+            tuple(group): (int(support), r.from_wire(element))
+            for group, support, element in reply["elements"]
+        }
+        return int(reply["version"]), elements
+
+    def aggregate(
+        self, ring, value=None, group_by=None, maintained: bool = True
+    ) -> Dict[Tuple, Any]:
+        """Served aggregate answers ``{group: answer}`` (like :meth:`result`)."""
+        spec = self._coerce_spec(ring, value, group_by)
+        _, elements = self.aggregate_read(spec, maintained=maintained)
+        r = spec.ring
+        return {
+            group: r.answer(element)
+            for group, (_support, element) in elements.items()
+        }
+
     def apply_batch(self, updates) -> int:
         """Apply one batch remotely; returns the post-commit version."""
         if isinstance(updates, UpdateBatch):
@@ -310,7 +491,31 @@ class EngineClient:
             self._apply_push(state, push)
         return Subscription(self, sid, state)
 
-    def unsubscribe(self, subscription: Subscription) -> None:
+    def subscribe_aggregate(
+        self,
+        ring,
+        value=None,
+        group_by=None,
+        queue: Optional[int] = None,
+    ) -> AggregateSubscription:
+        """Subscribe to one aggregate: full elements now, folded group
+        deltas per commit after (coalescing = ring addition)."""
+        spec = self._coerce_spec(ring, value, group_by)
+        reply = self._request(
+            "subscribe_aggregate", spec=spec.to_wire(), queue=queue
+        )
+        sid = int(reply["sub"])
+        state = AggregateSubscriptionState(
+            spec, int(reply["version"]), reply["result"]
+        )
+        with self._route_lock:
+            self._subscriptions[sid] = state
+            orphans = self._orphan_pushes.pop(sid, [])
+        for push in orphans:  # pushes that beat this registration
+            self._apply_push(state, push)
+        return AggregateSubscription(self, sid, state)
+
+    def unsubscribe(self, subscription) -> None:
         self._request("unsubscribe", sub=subscription.sid)
         with self._route_lock:
             self._subscriptions.pop(subscription.sid, None)

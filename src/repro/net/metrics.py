@@ -45,6 +45,22 @@ def render_families(samples: List[_Sample]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_labeled_family(
+    name: str,
+    mtype: str,
+    help_text: str,
+    label: str,
+    values: Mapping[str, float],
+) -> str:
+    """Render one family with a single label dimension (e.g. per-ring
+    counters): one HELP/TYPE header, one sample per label value."""
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {mtype}"]
+    for label_value in sorted(values):
+        escaped = str(label_value).replace("\\", "\\\\").replace('"', '\\"')
+        lines.append(f'{name}{{{label}="{escaped}"}} {_fmt(values[label_value])}')
+    return "\n".join(lines) + "\n"
+
+
 def _prefixed(
     prefix: str,
     mapping: Mapping[str, float],
@@ -116,19 +132,26 @@ _NET_HELPS = {
     "commits_observed": "Engine commits observed by the push hub.",
     "max_queue_depth": "High-water mark of any subscriber send queue.",
     "http_requests": "Plain HTTP requests served on the shared port.",
+    "agg_subscriptions_total": "Aggregate subscriptions opened since start.",
+    "agg_subscribers_current": "Aggregate subscriptions currently active.",
+    "agg_deltas_pushed": "Folded aggregate delta frames enqueued.",
+    "agg_resyncs": "Slow aggregate-subscriber resyncs (queue overflow).",
 }
 
 
 def render_server_metrics(
     serving,
     net_stats: Optional[Mapping[str, float]] = None,
+    ring_deltas: Optional[Mapping[str, float]] = None,
 ) -> str:
     """Render one Prometheus page for an :class:`EngineServer`.
 
     ``serving`` is the :class:`repro.core.serving.EngineServer`;
-    ``net_stats`` is the optional flat counter dict of the TCP front-end.
-    Sources that are absent (no telemetry attached, engine not loaded yet,
-    static engine without rebalance stats) are simply omitted.
+    ``net_stats`` is the optional flat counter dict of the TCP front-end;
+    ``ring_deltas`` is the optional per-ring breakdown of pushed aggregate
+    delta frames (rendered as one labeled family).  Sources that are
+    absent (no telemetry attached, engine not loaded yet, static engine
+    without rebalance stats) are simply omitted.
     """
     samples: List[_Sample] = []
     engine = serving.engine
@@ -207,12 +230,41 @@ def render_server_metrics(
     )
 
     if net_stats is not None:
+        net_stats = dict(net_stats)
+        # The aggregate read counter gets the exact name the dashboards
+        # key on rather than the generic repro_net_* prefix.
+        aggregate_reads = net_stats.pop("aggregate_reads", None)
+        if aggregate_reads is not None:
+            samples.append(
+                (
+                    "repro_aggregate_reads_total",
+                    "counter",
+                    "Aggregate reads served (one-shot ops, subscription "
+                    "snapshots, and resyncs).",
+                    float(aggregate_reads),
+                )
+            )
         net_types: Dict[str, str] = {
             key: "gauge"
-            if key in ("connections_current", "subscribers_current", "max_queue_depth")
+            if key
+            in (
+                "connections_current",
+                "subscribers_current",
+                "agg_subscribers_current",
+                "max_queue_depth",
+            )
             else "counter"
             for key in net_stats
         }
         samples.extend(_prefixed("repro_net", net_stats, net_types, _NET_HELPS))
 
-    return render_families(samples)
+    page = render_families(samples)
+    if ring_deltas:
+        page += render_labeled_family(
+            "repro_net_aggregate_deltas_pushed_total",
+            "counter",
+            "Folded aggregate delta frames enqueued, by ring.",
+            "ring",
+            ring_deltas,
+        )
+    return page

@@ -5,17 +5,24 @@
 three kinds of traffic:
 
 * **Request/response ops** — ``ping``, ``read``, ``lookup``,
-  ``apply_batch``/``apply_update``, snapshot paging
+  ``aggregate``, ``apply_batch``/``apply_update``, snapshot paging
   (``snapshot_open``/``snapshot_page``/``snapshot_lookup``/
-  ``snapshot_close``), ``subscribe``/``unsubscribe``, ``metrics`` and
-  ``stats``.  Each connection's requests are dispatched sequentially;
+  ``snapshot_close``), ``subscribe``/``subscribe_aggregate``/
+  ``unsubscribe``, ``metrics`` and ``stats``.  Each connection's
+  requests are dispatched sequentially;
   blocking engine work runs on a thread pool so the event loop never
   stalls on enumeration or maintenance.
 * **Push-based subscriptions** — a subscription receives the full result
   once (in the ``subscribe`` response) and then one consolidated delta
   frame per engine commit, computed from the batch's net effect by the
   maintenance layer's result-delta capture and fanned out by the
-  :meth:`~repro.core.serving.EngineServer.on_commit` hook.
+  :meth:`~repro.core.serving.EngineServer.on_commit` hook.  *Aggregate*
+  subscriptions ride the same contract with ring-folded payloads: the
+  commit's tuple delta is folded per subscribed
+  :class:`~repro.rings.spec.AggregateSpec` into per-group ``(support
+  delta, ring-element delta)`` rows — usually a few groups instead of
+  thousands of tuples — and a lagging subscriber resyncs from one
+  O(groups) maintained read instead of a full enumeration.
 * **Plain HTTP** — the server peeks the first four bytes of every
   connection; ``GET `` switches the connection to a minimal HTTP/1.0
   responder so ``GET /metrics`` (Prometheus text format, see
@@ -58,6 +65,17 @@ from repro.net.protocol import (
     unwire_updates,
     wire_pairs,
 )
+from repro.rings.spec import AggregateSpec, fold_delta
+
+
+def _wire_elements(ring, elements) -> list:
+    """Encode ``{group: (support, element)}`` as ``[[group...], support, wire]``
+    rows — the aggregate counterpart of :func:`~repro.net.protocol.wire_pairs`,
+    used for initial reads, per-commit folded deltas, and resyncs alike."""
+    return [
+        [list(group), support, ring.to_wire(element)]
+        for group, (support, element) in elements.items()
+    ]
 
 
 @dataclass(frozen=True)
@@ -104,16 +122,32 @@ class NetServerStats:
         "commits_observed",
         "max_queue_depth",
         "http_requests",
+        "aggregate_reads",
+        "agg_subscriptions_total",
+        "agg_subscribers_current",
+        "agg_deltas_pushed",
+        "agg_resyncs",
     )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         for field in self._FIELDS:
             setattr(self, field, 0)
+        # Aggregate delta frames enqueued, keyed by ring name — exported
+        # as one labeled Prometheus family (per-ring traffic breakdown).
+        self._ring_deltas: Dict[str, int] = {}
 
     def add(self, field: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, field, getattr(self, field) + amount)
+
+    def add_ring_delta(self, ring_name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._ring_deltas[ring_name] = self._ring_deltas.get(ring_name, 0) + amount
+
+    def ring_deltas(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._ring_deltas)
 
     def note_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -126,16 +160,29 @@ class NetServerStats:
 
 
 class _Subscriber:
-    """One push subscription: its bounded queue and sender task."""
+    """One push subscription: its bounded queue and sender task.
 
-    __slots__ = ("sid", "session", "queue", "lagging", "task")
+    ``spec`` distinguishes the two subscription flavours: ``None`` mirrors
+    the full result (per-commit tuple deltas), an :class:`AggregateSpec`
+    mirrors that aggregate (per-commit folded group deltas, coalesced by
+    ring addition on overflow via the same resync path).
+    """
 
-    def __init__(self, sid: int, session: "_Session", queue_size: int) -> None:
+    __slots__ = ("sid", "session", "queue", "lagging", "task", "spec")
+
+    def __init__(
+        self,
+        sid: int,
+        session: "_Session",
+        queue_size: int,
+        spec: Optional[AggregateSpec] = None,
+    ) -> None:
         self.sid = sid
         self.session = session
         self.queue: "asyncio.Queue[Tuple]" = asyncio.Queue(maxsize=queue_size)
         self.lagging = False
         self.task: Optional[asyncio.Task] = None
+        self.spec = spec
 
 
 class _Session:
@@ -171,6 +218,11 @@ class EngineTCPServer:
         self._next_session = 0
         self._next_snapshot = 0
         self._next_subscription = 0
+        #: Distinct aggregate specs with live subscribers:
+        #: ``{spec.key(): [spec, refcount]}``.  Mutated only on the event
+        #: loop; the committing thread snapshots it with ``list()`` (atomic
+        #: under the GIL) to fold each commit's delta once per spec.
+        self._agg_specs: Dict[Tuple, list] = {}
         #: Highest committed version observed by the push hub; lagging
         #: subscribers resync against this ratchet.
         self.latest_version = 0
@@ -230,30 +282,57 @@ class EngineTCPServer:
     # commit fan-out (the push hub)
     # ------------------------------------------------------------------
     def _on_engine_commit(self, version: int, delta: Dict) -> None:
-        """EngineServer commit listener: runs in the committing thread."""
+        """EngineServer commit listener: runs in the committing thread.
+
+        Besides wiring the tuple delta, folds it once per distinct
+        subscribed aggregate spec (ring addition over the commit's net
+        result delta) — the fold happens here, in the committing thread,
+        so the event-loop fan-out stays O(subscribers) and the folded
+        group deltas are exact no matter how the engine maintains its own
+        aggregate state.
+        """
         if self._closed:
             return
         loop = self._loop
         if loop is None:
             return
         payload = wire_pairs(delta.items())
+        agg_payloads: Dict[Tuple, list] = {}
+        if self._agg_specs:
+            head = tuple(self.serving.engine.query.head)
+            items = list(delta.items())
+            for key, (spec, _count) in list(self._agg_specs.items()):
+                agg_payloads[key] = _wire_elements(
+                    spec.ring, fold_delta(spec, head, items)
+                )
         try:
-            loop.call_soon_threadsafe(self._publish_commit, version, payload)
+            loop.call_soon_threadsafe(
+                self._publish_commit, version, payload, agg_payloads
+            )
         except RuntimeError:  # pragma: no cover - loop torn down mid-commit
             pass
 
-    def _publish_commit(self, version: int, wire_delta) -> None:
+    def _publish_commit(
+        self, version: int, wire_delta, agg_payloads: Optional[Dict] = None
+    ) -> None:
         """Fan one commit out to every subscriber; runs on the event loop."""
         if version > self.latest_version:
             self.latest_version = version
         self.stats.add("commits_observed")
+        agg_payloads = agg_payloads or {}
         for sub in list(self._subscribers.values()):
             if sub.lagging:
                 # Coalesced: the pending resync marker covers this commit,
                 # because the resync ratchet reads at >= latest_version.
                 continue
+            if sub.spec is None:
+                item = ("delta", version, wire_delta)
+            else:
+                # A spec registered after this commit was folded simply has
+                # no payload here; the subscriber's initial read covers it.
+                item = ("agg_delta", version, agg_payloads.get(sub.spec.key(), []))
             try:
-                sub.queue.put_nowait(("delta", version, wire_delta))
+                sub.queue.put_nowait(item)
             except asyncio.QueueFull:
                 sub.lagging = True
                 while True:
@@ -262,9 +341,13 @@ class EngineTCPServer:
                     except asyncio.QueueEmpty:
                         break
                 sub.queue.put_nowait(("resync",))
-                self.stats.add("resyncs")
+                self.stats.add("resyncs" if sub.spec is None else "agg_resyncs")
             else:
-                self.stats.add("deltas_pushed")
+                if sub.spec is None:
+                    self.stats.add("deltas_pushed")
+                else:
+                    self.stats.add("agg_deltas_pushed")
+                    self.stats.add_ring_delta(sub.spec.ring.name)
                 self.stats.note_queue_depth(sub.queue.qsize())
 
     async def _subscription_sender(self, sub: _Subscriber) -> None:
@@ -272,7 +355,7 @@ class EngineTCPServer:
         try:
             while True:
                 item = await sub.queue.get()
-                if item[0] == "delta":
+                if item[0] in ("delta", "agg_delta"):
                     _, version, wire_delta = item
                     await self._send(
                         sub.session,
@@ -281,6 +364,24 @@ class EngineTCPServer:
                             "kind": "delta",
                             "version": version,
                             "delta": wire_delta,
+                        },
+                    )
+                elif sub.spec is not None:  # aggregate resync marker
+                    while True:
+                        version, elements = await self._run(
+                            self.serving.aggregate, sub.spec
+                        )
+                        if self.latest_version <= version:
+                            sub.lagging = False
+                            break
+                    self.stats.add("aggregate_reads")
+                    await self._send(
+                        sub.session,
+                        {
+                            "sub": sub.sid,
+                            "kind": "resync",
+                            "version": version,
+                            "result": _wire_elements(sub.spec.ring, elements),
                         },
                     )
                 else:  # resync marker
@@ -440,7 +541,15 @@ class EngineTCPServer:
 
     def _drop_subscriber(self, sub: _Subscriber) -> None:
         if self._subscribers.pop(sub.sid, None) is not None:
-            self.stats.add("subscribers_current", -1)
+            if sub.spec is None:
+                self.stats.add("subscribers_current", -1)
+            else:
+                self.stats.add("agg_subscribers_current", -1)
+                entry = self._agg_specs.get(sub.spec.key())
+                if entry is not None:
+                    entry[1] -= 1
+                    if entry[1] <= 0:
+                        self._agg_specs.pop(sub.spec.key(), None)
         sub.session.subscribers.pop(sub.sid, None)
         if sub.task is not None:
             sub.task.cancel()
@@ -466,7 +575,11 @@ class EngineTCPServer:
             path = parts[1] if len(parts) >= 2 else "/"
             if path.split("?")[0] == "/metrics":
                 body = (
-                    render_server_metrics(self.serving, self.stats.as_dict())
+                    render_server_metrics(
+                        self.serving,
+                        self.stats.as_dict(),
+                        ring_deltas=self.stats.ring_deltas(),
+                    )
                 ).encode("utf-8")
                 status = "200 OK"
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -552,6 +665,24 @@ class EngineTCPServer:
 
             version, multiplicity = await self._run(locked_lookup)
         return {"version": version, "multiplicity": multiplicity}
+
+    async def _op_aggregate(self, session: _Session, message: Dict) -> Dict:
+        """One consistent aggregate read: ``{group: (support, element)}`` rows.
+
+        The client re-derives user-facing answers locally with the spec's
+        ring, so one wire shape serves reads, subscription snapshots, and
+        resyncs alike.
+        """
+        spec = AggregateSpec.from_wire(message.get("spec") or {})
+        maintained = bool(message.get("maintained", True))
+        version, elements = await self._run(
+            self.serving.aggregate, spec, maintained
+        )
+        self.stats.add("aggregate_reads")
+        return {
+            "version": version,
+            "elements": _wire_elements(spec.ring, elements),
+        }
 
     async def _op_apply_batch(self, session: _Session, message: Dict) -> Dict:
         updates = unwire_updates(message.get("updates"))
@@ -691,6 +822,63 @@ class EngineTCPServer:
         sub.task = self._loop.create_task(self._subscription_sender(sub))
         return None  # response already sent (before the sender could race it)
 
+    async def _op_subscribe_aggregate(
+        self, session: _Session, message: Dict
+    ) -> Optional[Dict]:
+        """Open one aggregate subscription: full elements now, folded
+        group deltas per commit after (see :meth:`_on_engine_commit`)."""
+        self.serving.check_writer()
+        engine = self.serving.engine
+        if getattr(engine, "mode", None) != "dynamic":
+            raise UnsupportedQueryError(
+                "aggregate subscriptions require a dynamic engine; this "
+                f"server fronts a {getattr(engine, 'mode', 'unknown')!r}-mode "
+                "engine with no per-commit delta capture"
+            )
+        spec = AggregateSpec.from_wire(message.get("spec") or {})
+        if len(self._subscribers) >= self.config.max_subscriptions:
+            raise ProtocolError(
+                f"subscription limit reached ({self.config.max_subscriptions})"
+            )
+        queue_size = self.config.subscriber_queue_size
+        requested_queue = message.get("queue")
+        if requested_queue is not None:
+            queue_size = max(1, min(int(requested_queue), queue_size))
+        self._next_subscription += 1
+        sub = _Subscriber(self._next_subscription, session, queue_size, spec=spec)
+        # Register subscriber AND spec first (one event-loop step, so the
+        # committing thread either folds this spec for a commit or the
+        # initial read below observes that commit), then read; the client
+        # skips pushed versions <= the initial version, closing the overlap.
+        self._subscribers[sub.sid] = sub
+        session.subscribers[sub.sid] = sub
+        entry = self._agg_specs.get(spec.key())
+        if entry is None:
+            self._agg_specs[spec.key()] = [spec, 1]
+        else:
+            entry[1] += 1
+        self.stats.add("agg_subscriptions_total")
+        self.stats.add("agg_subscribers_current")
+        try:
+            version, elements = await self._run(self.serving.aggregate, spec)
+        except BaseException:
+            self._drop_subscriber(sub)
+            raise
+        self.stats.add("aggregate_reads")
+        await self._send(
+            session,
+            {
+                "id": message.get("id"),
+                "ok": True,
+                "sub": sub.sid,
+                "version": version,
+                "result": _wire_elements(spec.ring, elements),
+            },
+        )
+        assert self._loop is not None
+        sub.task = self._loop.create_task(self._subscription_sender(sub))
+        return None  # response already sent (before the sender could race it)
+
     async def _op_unsubscribe(self, session: _Session, message: Dict) -> Dict:
         sid = message.get("sub")
         sub = session.subscribers.get(sid)
@@ -701,7 +889,11 @@ class EngineTCPServer:
 
     # -- introspection --------------------------------------------------
     async def _op_metrics(self, session: _Session, message: Dict) -> Dict:
-        text = render_server_metrics(self.serving, self.stats.as_dict())
+        text = render_server_metrics(
+            self.serving,
+            self.stats.as_dict(),
+            ring_deltas=self.stats.ring_deltas(),
+        )
         return {"text": text}
 
     async def _op_stats(self, session: _Session, message: Dict) -> Dict:

@@ -1,0 +1,60 @@
+"""Commutative-ring payloads for aggregate views (see ``docs`` §16).
+
+``base`` defines the :class:`Ring` contract, the registry, and the law
+checker; ``library`` ships the concrete rings (counting, sum, min/max,
+sum-product) and registers them on import; ``spec`` defines
+:class:`AggregateSpec` — what to aggregate — and the Relation-backed
+:class:`MaintainedAggregate` state behind ``engine.aggregate()``.
+"""
+
+from repro.rings.base import (
+    Ring,
+    check_ring_laws,
+    fold_elements,
+    get_ring,
+    register_ring,
+    ring_names,
+)
+from repro.rings.library import (
+    COUNTING,
+    MAX,
+    MIN,
+    SUM,
+    SUM_PRODUCT,
+    CountingRing,
+    MaxRing,
+    MinRing,
+    SumProductRing,
+    SumRing,
+)
+from repro.rings.spec import (
+    AggregateSpec,
+    MaintainedAggregate,
+    answer_map,
+    fold_delta,
+    fold_result,
+)
+
+__all__ = [
+    "AggregateSpec",
+    "COUNTING",
+    "CountingRing",
+    "MAX",
+    "MIN",
+    "MaintainedAggregate",
+    "MaxRing",
+    "MinRing",
+    "Ring",
+    "SUM",
+    "SUM_PRODUCT",
+    "SumProductRing",
+    "SumRing",
+    "answer_map",
+    "check_ring_laws",
+    "fold_delta",
+    "fold_elements",
+    "fold_result",
+    "get_ring",
+    "register_ring",
+    "ring_names",
+]

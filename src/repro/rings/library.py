@@ -1,0 +1,238 @@
+"""The concrete ring library: counting, sum, min/max, sum-product.
+
+Every ring here is an *invertible* abelian group, which is what lets the
+engine maintain aggregates from first-order result deltas alone — a
+retraction is the insertion of the negated element, no re-enumeration
+needed:
+
+* :class:`CountingRing` — plain integers; ``lift(_, m) = m``.  This is
+  the payload the engine has always carried implicitly, so an engine
+  annotated with it must be byte-identical to the pre-ring engine.
+* :class:`SumRing` — sums of extracted values.  Integer values stay
+  ``int``; the first ``float`` switches the element to an exact
+  ``fractions.Fraction`` (every binary float is an exact rational), so
+  cancellation under heavy insert/delete churn is *exact* and the
+  maintained sum is order-independent — ``aggregate()`` equals the fold
+  over any enumeration order down to the last bit.  ``answer()`` renders
+  a Fraction back as ``float``.
+* :class:`MinRing` / :class:`MaxRing` — the retraction-hard aggregates.
+  ``min``/``max`` have no inverse, so the element is a support multiset
+  ``{value: count}``: retraction decrements a count and drops the value
+  at zero, and ``answer()`` re-derives the extremum over the surviving
+  values (the *bounded repair* strategy — repair cost is the number of
+  distinct live values in the group, never a full re-enumeration).
+  Mixed value types order by a canonical type tag, mirroring the
+  enumeration merge order of :mod:`repro.enumeration.union`.
+* :class:`SumProductRing` — the matmul payload: the spec extracts a
+  *tuple* of factors and ``lift`` multiplies them (exactly, via the same
+  Fraction escape hatch) before scaling by the multiplicity.  This is
+  the (+, ×) semiring restricted to the additive group the maintenance
+  path needs; ``workloads/matrix.py``'s C[i,k] = Σⱼ A[i,j]·B[j,k] is a
+  grouped sum-product aggregate under it.
+
+All four register with :mod:`repro.rings.base` at import time.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, List, Tuple
+
+from repro.rings.base import Ring, register_ring
+
+
+def _exact(value: Any) -> Any:
+    """Map a numeric value to its exact additive representation."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        return Fraction(value)  # exact: binary floats are rationals
+    if isinstance(value, (int, Fraction)):
+        return value
+    raise TypeError(
+        f"sum-style rings need numeric values, got {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def _render(total: Any) -> Any:
+    """User-facing number: Fractions picked up from floats render as float."""
+    if isinstance(total, Fraction):
+        return float(total)
+    return total
+
+
+def _wire_number(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        # numerator/denominator as strings: arbitrary precision survives
+        # JSON, which would silently round large ints through float64
+        return ["F", str(value.numerator), str(value.denominator)]
+    return value
+
+
+def _unwire_number(wire: Any) -> Any:
+    if isinstance(wire, (list, tuple)) and len(wire) == 3 and wire[0] == "F":
+        return Fraction(int(wire[1]), int(wire[2]))
+    return wire
+
+
+class CountingRing(Ring):
+    """Tuple multiplicities under (ℤ, +, 0) — the engine's native payload."""
+
+    name = "counting"
+
+    def zero(self) -> int:
+        return 0
+
+    def lift(self, value: Any, multiplicity: int) -> int:
+        return multiplicity
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def negate(self, a: int) -> int:
+        return -a
+
+    def is_zero(self, a: int) -> bool:
+        return a == 0
+
+
+class SumRing(Ring):
+    """Sum of extracted numeric values, exact under cancellation."""
+
+    name = "sum"
+
+    def zero(self) -> int:
+        return 0
+
+    def lift(self, value: Any, multiplicity: int) -> Any:
+        return _exact(value) * multiplicity
+
+    def add(self, a: Any, b: Any) -> Any:
+        return a + b
+
+    def negate(self, a: Any) -> Any:
+        return -a
+
+    def is_zero(self, a: Any) -> bool:
+        return a == 0
+
+    def answer(self, a: Any) -> Any:
+        return _render(a)
+
+    def to_wire(self, a: Any) -> Any:
+        return _wire_number(a)
+
+    def from_wire(self, wire: Any) -> Any:
+        return _unwire_number(wire)
+
+
+def _order_key(value: Any) -> Tuple:
+    """Total order over mixed-type values (numbers first, then by type name).
+
+    The same type-tagged ordering the canonical enumeration merge uses, so
+    a min/max answer is deterministic no matter which shard or engine
+    produced the supporting values.
+    """
+    if isinstance(value, bool):
+        return ("num", int(value))
+    if isinstance(value, (int, float, Fraction)):
+        return ("num", value)
+    return (type(value).__name__, value)
+
+
+class _ExtremumRing(Ring):
+    """Shared support-multiset machinery of :class:`MinRing`/:class:`MaxRing`.
+
+    Elements are immutable-by-convention dicts ``{value: count}``.  ``add``
+    allocates a fresh dict, so shared elements are never mutated in place.
+    """
+
+    _pick_max = False
+
+    def zero(self) -> Dict[Any, int]:
+        return {}
+
+    def lift(self, value: Any, multiplicity: int) -> Dict[Any, int]:
+        if value is None:
+            raise TypeError(
+                f"the {self.name} ring needs a value extracted from the "
+                "result tuple; pass value=<head variable or position>"
+            )
+        if multiplicity == 0:
+            return {}
+        return {value: multiplicity}
+
+    def add(self, a: Dict[Any, int], b: Dict[Any, int]) -> Dict[Any, int]:
+        if not b:
+            return a
+        if not a:
+            return b
+        merged = dict(a)
+        for value, count in b.items():
+            updated = merged.get(value, 0) + count
+            if updated:
+                merged[value] = updated
+            else:
+                del merged[value]
+        return merged
+
+    def negate(self, a: Dict[Any, int]) -> Dict[Any, int]:
+        return {value: -count for value, count in a.items()}
+
+    def is_zero(self, a: Dict[Any, int]) -> bool:
+        return not a
+
+    def answer(self, a: Dict[Any, int]) -> Any:
+        if not a:
+            return None
+        # re-derivation on retraction: the extremum is recomputed over the
+        # surviving support values — bounded by distinct values, never by
+        # result size
+        if self._pick_max:
+            return max(a, key=_order_key)
+        return min(a, key=_order_key)
+
+    def to_wire(self, a: Dict[Any, int]) -> List[List[Any]]:
+        return [
+            [_wire_number(value), count]
+            for value, count in sorted(a.items(), key=lambda kv: _order_key(kv[0]))
+        ]
+
+    def from_wire(self, wire: Any) -> Dict[Any, int]:
+        return {_unwire_number(value): count for value, count in wire}
+
+
+class MinRing(_ExtremumRing):
+    """Minimum of extracted values with support-counted retraction."""
+
+    name = "min"
+    _pick_max = False
+
+
+class MaxRing(_ExtremumRing):
+    """Maximum of extracted values with support-counted retraction."""
+
+    name = "max"
+    _pick_max = True
+
+
+class SumProductRing(SumRing):
+    """Σ over result tuples of (Π extracted factors) · multiplicity."""
+
+    name = "sum_product"
+
+    def lift(self, value: Any, multiplicity: int) -> Any:
+        if not isinstance(value, (tuple, list)):
+            value = (value,)
+        product: Any = multiplicity
+        for factor in value:
+            product = product * _exact(factor)
+        return product
+
+
+COUNTING = register_ring(CountingRing())
+SUM = register_ring(SumRing())
+MIN = register_ring(MinRing())
+MAX = register_ring(MaxRing())
+SUM_PRODUCT = register_ring(SumProductRing())

@@ -63,7 +63,7 @@ from repro.durability.manager import (
     read_fleet_meta,
     write_fleet_meta,
 )
-from repro.enumeration.union import merge_shards
+from repro.enumeration.union import merge_shard_aggregates, merge_shards
 from repro.exceptions import (
     DurabilityError,
     ReproError,
@@ -71,6 +71,8 @@ from repro.exceptions import (
     UnsupportedQueryError,
 )
 from repro.ivm.rebalance import RebalanceStats
+from repro.rings.base import Ring
+from repro.rings.spec import AggregateSpec, answer_map, fold_result
 from repro.sharding.executor import EXECUTORS, ShardExecutor
 from repro.sharding.router import ShardRouter
 from repro.views.build import DYNAMIC_MODE
@@ -273,6 +275,22 @@ class ShardedSnapshot:
         """Number of distinct result tuples in the captured version."""
         return sum(1 for _ in self.enumerate())
 
+    def aggregate(self, ring, value=None, group_by=None) -> Dict[ValueTuple, Any]:
+        """Aggregate the captured merged result as ``{group: answer}``.
+
+        Folds over this snapshot's own merged enumeration (the same
+        fold as :meth:`HierarchicalEngine.aggregate` with
+        ``maintained=False``), so the answer is frozen at the captured
+        version regardless of how far the live fleet has moved on.
+        """
+        spec = (
+            ring
+            if isinstance(ring, AggregateSpec)
+            else AggregateSpec(ring, value, group_by)
+        )
+        head = tuple(self._engine.query.head)
+        return answer_map(spec, fold_result(spec, head, self.enumerate()))
+
     def lookup(self, tup: ValueTuple) -> int:
         """Multiplicity of one full result tuple (summed across shards)."""
         executor = self._executor()
@@ -404,6 +422,11 @@ class ShardedEngine:
         # load()/recover() so a serving layer that enabled it keeps
         # receiving per-commit deltas across reloads.
         self._capture_deltas = False
+        # Registered aggregate specs, keyed by AggregateSpec.key().  Like
+        # the capture flag, the registry lives on the facade and is
+        # re-broadcast whenever a fleet is (re)built — load, recover, and
+        # reshard — so every worker maintains the same aggregate states.
+        self._agg_specs: Dict[Tuple, AggregateSpec] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -456,6 +479,7 @@ class ShardedEngine:
         )
         if self._capture_deltas:
             self._executor.broadcast("set_delta_capture", True)
+        self._broadcast_aggregates(self._executor)
         return self
 
     def recover(self) -> "ShardedEngine":
@@ -522,6 +546,7 @@ class ShardedEngine:
         )
         if self._capture_deltas:
             self._executor.broadcast("set_delta_capture", True)
+        self._broadcast_aggregates(self._executor)
         shard_versions = self.shard_versions()
         if meta is None:
             self._version = max(shard_versions)
@@ -794,6 +819,112 @@ class ShardedEngine:
         return merged
 
     # ------------------------------------------------------------------
+    # ring-annotated aggregates
+    # ------------------------------------------------------------------
+    def _broadcast_aggregates(self, executor: ShardExecutor) -> None:
+        """Re-register every known aggregate spec on a (re)built fleet."""
+        for spec in self._agg_specs.values():
+            executor.broadcast("register_aggregate", spec.to_wire())
+
+    def _coerce_spec(
+        self, ring: Union[Ring, str, AggregateSpec], value, group_by
+    ) -> AggregateSpec:
+        if isinstance(ring, AggregateSpec):
+            if value is not None or group_by is not None:
+                raise ValueError(
+                    "pass either an AggregateSpec or ring/value/group_by, "
+                    "not both"
+                )
+            spec = ring
+        else:
+            spec = AggregateSpec(ring, value, group_by)
+        # Fail the way the shard pipe would, but at the facade: callable
+        # value selectors cannot cross a worker boundary.
+        spec.to_wire()
+        return spec
+
+    def register_aggregate(self, spec: AggregateSpec) -> None:
+        """Install the maintained state for ``spec`` on every shard.
+
+        The registry survives :meth:`load`, :meth:`recover`, and
+        :meth:`reshard` — the facade re-broadcasts its specs whenever a
+        fleet is (re)built, exactly as the delta-capture flag is
+        re-applied.  Dynamic mode only (mirrors
+        :meth:`HierarchicalEngine.register_aggregate`).
+        """
+        if self.mode != DYNAMIC_MODE:
+            raise UnsupportedQueryError(
+                "maintained aggregates require the dynamic engine; a static "
+                "deployment answers by enumerate-and-fold via aggregate()"
+            )
+        spec = self._coerce_spec(spec, None, None)
+        self._agg_specs[spec.key()] = spec
+        if self._executor is not None:
+            self._executor.broadcast("register_aggregate", spec.to_wire())
+
+    @property
+    def registered_aggregates(self) -> Tuple[AggregateSpec, ...]:
+        """Specs currently maintained by the fleet (registration order)."""
+        return tuple(self._agg_specs.values())
+
+    def aggregate_elements(
+        self, spec: AggregateSpec, maintained: bool = True
+    ) -> Dict[ValueTuple, Tuple[int, Any]]:
+        """Merged raw ``{group: (support, element)}`` across all shards.
+
+        One executor round collects every shard's partial aggregate in
+        wire form (supports + un-finalized ring elements), then
+        :func:`~repro.enumeration.union.merge_shard_aggregates` combines
+        them — grouped aggregation is a ring homomorphism of the shard
+        decomposition, so the merge is O(groups), never an enumeration.
+        """
+        executor = self._require_loaded()
+        if maintained and self.mode == DYNAMIC_MODE:
+            if spec.key() not in self._agg_specs:
+                self.register_aggregate(spec)
+        ring = spec.ring
+        partials = []
+        for rows in executor.broadcast(
+            "aggregate", (spec.to_wire(), maintained)
+        ):
+            partials.append(
+                [
+                    (tuple(group), (support, ring.from_wire(element)))
+                    for group, support, element in rows
+                ]
+            )
+        return merge_shard_aggregates(partials, ring)
+
+    def aggregate(
+        self,
+        ring: Union[Ring, str, AggregateSpec],
+        value=None,
+        group_by=None,
+        *,
+        maintained: bool = True,
+    ) -> Dict[ValueTuple, Any]:
+        """Answer one aggregate over the merged result as ``{group: answer}``.
+
+        Same surface as :meth:`HierarchicalEngine.aggregate`; the answer
+        equals the single-engine aggregate over the union of the shards.
+        Partial aggregates cross the shard boundary as raw supports and
+        ring elements and are finalized (``ring.answer``) only here at
+        the facade edge, because answers do not compose across shards in
+        general.  The read — shard broadcast plus merge — records into
+        the facade's workload telemetry like a merged enumeration.
+        """
+        self._require_loaded()
+        spec = self._coerce_spec(ring, value, group_by)
+        started = time.perf_counter() if self.telemetry is not None else 0.0
+        merged = self.aggregate_elements(spec, maintained=maintained)
+        answers = answer_map(spec, merged)
+        if self.telemetry is not None:
+            self.telemetry.record_read(
+                len(answers), time.perf_counter() - started
+            )
+        return answers
+
+    # ------------------------------------------------------------------
     # adaptive retuning
     # ------------------------------------------------------------------
     def retune(self, epsilon: float) -> None:
@@ -994,6 +1125,7 @@ class ShardedEngine:
         crash_point("reshard-swap")
         if self._capture_deltas:
             new_executor.broadcast("set_delta_capture", True)
+        self._broadcast_aggregates(new_executor)
         old_fleet = self._fleet
         self.router = router
         self.shards = plan.new_count

@@ -4,6 +4,9 @@ The sharded engine talks to its shards through a tiny command set —
 ``load``, ``update``, ``batch``, ``result``, ``enumerate`` (sorted),
 ``check`` (engine invariants + placement), ``stats``, ``view_size``,
 ``size``, ``threshold``, ``retune`` (shard-local ε switch), ``version``,
+the aggregate pair ``register_aggregate`` / ``aggregate`` (per-shard
+partial aggregates as wire-form supports and ring elements, merged at the
+facade with :func:`repro.enumeration.union.merge_shard_aggregates`),
 plus the snapshot quartet
 ``snapshot`` / ``snap_enumerate`` / ``snap_lookup`` / ``snap_release``
 (shard-local :class:`repro.snapshot.Snapshot` handles held in a per-worker
@@ -51,6 +54,7 @@ from repro.durability.manager import DurabilityConfig
 from repro.enumeration.union import sort_shard_result
 from repro.exceptions import WorkerDiedError
 from repro.ivm.rebalance import RebalanceStats
+from repro.rings.spec import AggregateSpec
 from repro.sharding.router import ShardRouter
 
 DatabasePayload = Dict[str, Tuple[Tuple[str, ...], List[Tuple[Tuple, int]]]]
@@ -167,6 +171,25 @@ class _ShardServer:
             # shard-key collisions, which summing handles like the k-way
             # merge does)
             return list(self.engine.drain_result_delta().items())
+        if command == "register_aggregate":
+            # Install the maintained state for one spec on this shard; the
+            # facade re-broadcasts its registry on load/recover/reshard so
+            # rebuilt workers maintain the same aggregates.
+            self.engine.register_aggregate(AggregateSpec.from_wire(payload))
+            return None
+        if command == "aggregate":
+            # One shard's partial aggregate in wire form: supports and ring
+            # elements, NOT answers — partials from different shards must
+            # still combine at the facade (min of mins is lawful, but only
+            # the ring knows that; answers in general do not compose).
+            spec_wire, maintained = payload
+            spec = AggregateSpec.from_wire(spec_wire)
+            ring = spec.ring
+            elements = self.engine.aggregate_elements(spec, maintained=maintained)
+            return [
+                [list(group), support, ring.to_wire(element)]
+                for group, (support, element) in elements.items()
+            ]
         if command == "version":
             return self.engine.version
         if command == "check":

@@ -33,6 +33,7 @@ from repro.data.schema import ValueTuple
 from repro.enumeration.lookup import lookup_multiplicity
 from repro.enumeration.result import ResultEnumerator
 from repro.query.conjunctive import ConjunctiveQuery
+from repro.rings.spec import AggregateSpec
 from repro.snapshot.cow import CowTracker, SnapshotState
 from repro.views.view import IndicatorLeaf, LeafNode, ViewTreeNode
 
@@ -161,6 +162,25 @@ class Snapshot:
     def count_distinct(self) -> int:
         """Number of distinct result tuples in the captured version."""
         return self.enumerate().count_distinct()
+
+    def aggregate(self, ring, value=None, group_by=None) -> Dict[ValueTuple, object]:
+        """Aggregate the captured result as ``{group: answer}``.
+
+        Accepts the same ``ring``/``value``/``group_by`` shapes (or a
+        prebuilt :class:`~repro.rings.spec.AggregateSpec`) as
+        :meth:`repro.core.api.HierarchicalEngine.aggregate` and folds over
+        this snapshot's own enumeration, so the answer is frozen at the
+        capture version no matter how far the live engine has moved on.
+        A snapshot outliving ``load()`` raises
+        :class:`~repro.exceptions.StaleStateError`, exactly like its
+        enumeration.
+        """
+        spec = (
+            ring
+            if isinstance(ring, AggregateSpec)
+            else AggregateSpec(ring, value, group_by)
+        )
+        return self.enumerate().aggregate(spec)
 
     def lookup(self, tup: ValueTuple) -> int:
         """Multiplicity of one full result tuple in the captured version."""

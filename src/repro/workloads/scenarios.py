@@ -34,7 +34,17 @@ rather than synthetic benchmarks:
   over hot join keys, so *every* fixed ε loses on some phase — the workload
   behind ``benchmarks/bench_adaptive.py`` and :mod:`repro.adaptive`;
 * **read_burst** — a single regime change: a long write burst followed by
-  read-only serving, the simplest case for adaptive ε retuning.
+  read-only serving, the simplest case for adaptive ε retuning;
+* **fraud_topk** — per-account extremum of transaction risk scores where
+  retractions preferentially withdraw the *current maximum*, forcing the
+  min/max ring to re-derive extrema from its support multiset;
+* **iot_rolling_sum** — per-site rolling sums over the sliding-window churn:
+  every expiring reading cancels exactly what its arrival added, the
+  heavy-cancellation regime where a float sum would silently drift
+  (the sum ring folds exactly and renders at the edge);
+* **feed_counters** — per-user feed counters over Zipf-hot channels with
+  post deletions, the counting-ring hot-key workload behind
+  ``benchmarks/bench_aggregates.py``'s subscription measurements.
 
 Every scenario is also registered in the :data:`SCENARIOS` matrix (a
 name → :class:`Scenario` registry, extended by
@@ -336,6 +346,105 @@ def iot_window_stream(
         if len(live) - oldest > window:
             updates.append(Update("Readings", live[oldest], -1))
             oldest += 1
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
+# fraud_topk: per-account score extrema under max-targeting retractions
+# ----------------------------------------------------------------------
+FRAUD_TOPK_QUERY = "Alerts(A, S) = Transfers(A, B), Scores(B, S)"
+"""Per account: the risk scores attached to its transactions.
+
+``A`` = account, ``B`` = transaction, ``S`` = score.  The natural read is
+not the enumeration but ``max(S) group by A`` — the per-account top risk —
+which the max ring maintains in O(1) per update."""
+
+
+def fraud_topk_database(
+    transfers: int = 2000,
+    scores: int = 900,
+    accounts: int = 120,
+    transactions: int = 500,
+    score_domain: int = 1000,
+    skew: float = 1.2,
+    seed: int = 0,
+) -> Database:
+    """Transfers(account, txn) and Scores(txn, score) on hot transactions."""
+    rng = random.Random(seed)
+    transfer_txns = zipf_values(transfers, transactions, skew, seed)
+    score_txns = zipf_values(scores, transactions, skew, seed + 1)
+    transfer_rows = [(rng.randrange(accounts), txn) for txn in transfer_txns]
+    score_rows = [(txn, rng.randrange(score_domain)) for txn in score_txns]
+    return Database.from_dict(
+        {
+            "Transfers": (("account", "txn"), transfer_rows),
+            "Scores": (("txn", "score"), score_rows),
+        }
+    )
+
+
+def fraud_topk_stream(
+    count: int,
+    transactions: int = 500,
+    score_domain: int = 1000,
+    skew: float = 1.2,
+    retract_fraction: float = 0.45,
+    seed: int = 19,
+) -> UpdateStream:
+    """Scores posted on hot transactions and later withdrawn.
+
+    Half of the retractions target the *highest* live score — the worst
+    case for extremum maintenance, where the retracted value IS the current
+    answer and the ring must re-derive the max from its remaining support
+    multiset rather than patch the old answer.
+    """
+    rng = random.Random(seed)
+    txns = zipf_values(count, transactions, skew, seed + 1)
+    live: List[Update] = []
+    updates: List[Update] = []
+    for txn in txns:
+        if live and rng.random() < retract_fraction:
+            if rng.random() < 0.5:
+                index = max(range(len(live)), key=lambda i: live[i].tuple[1])
+            else:
+                index = rng.randrange(len(live))
+            updates.append(live.pop(index).inverted())
+            continue
+        update = Update("Scores", (txn, rng.randrange(score_domain)), 1)
+        updates.append(update)
+        live.append(update)
+    return UpdateStream(updates)
+
+
+# ----------------------------------------------------------------------
+# feed_counters: per-user counters over churning hot channels
+# ----------------------------------------------------------------------
+def feed_counter_stream(
+    count: int,
+    channels: int = 300,
+    posts_base: int = 20_000_000,
+    skew: float = 1.2,
+    delete_fraction: float = 0.35,
+    seed: int = 29,
+) -> UpdateStream:
+    """Posts arriving on hot channels and later deleted (moderation/expiry).
+
+    Unlike :func:`social_post_stream`, a third of the events delete a live
+    post, so per-user feed counters genuinely move in both directions —
+    the counting-ring support is doing real retraction work, not ticking a
+    monotone counter.
+    """
+    rng = random.Random(seed)
+    channel_ids = zipf_values(count, channels, skew, seed)
+    live: List[Update] = []
+    updates: List[Update] = []
+    for i, channel in enumerate(channel_ids):
+        if live and rng.random() < delete_fraction:
+            updates.append(live.pop(rng.randrange(len(live))).inverted())
+            continue
+        update = Update("Posts", (channel, posts_base + i), 1)
+        updates.append(update)
+        live.append(update)
     return UpdateStream(updates)
 
 
@@ -747,6 +856,13 @@ class Scenario:
     description: str
     make_database: Callable[[int, float], Database]
     make_stream: Callable[[Database, int, int], UpdateStream]
+    #: The scenario's natural aggregates as ``(ring name, value selector,
+    #: group_by)`` triples — plain data rather than
+    #: :class:`~repro.rings.spec.AggregateSpec` instances so the workload
+    #: layer stays import-independent of the ring layer.  The conformance
+    #: checks fold these alongside their generic spec set; an empty tuple
+    #: means the generic set alone.
+    aggregates: Tuple[Tuple[str, object, Tuple], ...] = ()
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -911,6 +1027,63 @@ register_scenario(
         ),
         make_stream=lambda database, count, seed: phase_shift_write_stream(
             count, hot_keys=phase_shift_key_count(database), seed=seed
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fraud_topk",
+        query=FRAUD_TOPK_QUERY,
+        description="per-account max risk score under max-targeting retractions",
+        make_database=lambda seed, scale: fraud_topk_database(
+            transfers=_scaled(2000, scale), scores=_scaled(900, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: fraud_topk_stream(
+            count, seed=seed
+        ),
+        aggregates=(
+            ("max", "S", ("A",)),
+            ("min", "S", ("A",)),
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="iot_rolling_sum",
+        query=IOT_QUERY,
+        description="per-site rolling sums over sliding-window churn",
+        make_database=lambda seed, scale: iot_database(
+            window=_scaled(600, scale), sites=24, seed=seed
+        ),
+        make_stream=lambda database, count, seed: iot_window_stream(
+            count,
+            database,
+            window=database.relation("Readings").total_multiplicity(),
+            seed=seed,
+        ),
+        aggregates=(
+            ("sum", "V", ("S",)),
+            ("counting", None, ("S",)),
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="feed_counters",
+        query=SOCIAL_QUERY,
+        description="per-user feed counters over churning hot channels",
+        make_database=lambda seed, scale: social_database(
+            follows=_scaled(3000, scale), posts=_scaled(3000, scale), seed=seed
+        ),
+        make_stream=lambda database, count, seed: feed_counter_stream(
+            count, seed=seed
+        ),
+        aggregates=(
+            ("counting", None, ("U",)),
+            ("sum", "P", ("U",)),
         ),
     )
 )

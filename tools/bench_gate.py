@@ -1,6 +1,6 @@
 """Benchmark gate: re-run the asserted throughput claims so they cannot rot.
 
-Eight benchmark modules assert headline performance ratios and record their
+Nine benchmark modules assert headline performance ratios and record their
 tables under ``benchmarks/results/``:
 
 * ``bench_batch_updates``      — batched ingestion ≥ 2× single-update path;
@@ -19,7 +19,11 @@ tables under ``benchmarks/results/``:
   ingest throughput ≥ 0.8× a fleet loaded fresh at 4 shards;
 * ``bench_storage``            — columnar backend ≥ 3× the dict backend
   (geomean over every registered scenario) on the per-tuple maintenance
-  touch path, with both backends reaching identical final state.
+  touch path, with both backends reaching identical final state;
+* ``bench_aggregates``         — maintained ring-aggregate reads ≥ 5× the
+  enumerate-and-fold path at 10k-group scale on the iot sliding-window
+  workload, with maintenance cost staying inside ingestion and aggregate
+  push frames never outweighing plain result-delta frames.
 
 Committed result files are claims about the code, and nothing in the unit
 suite re-checks them.  This gate replays the benchmark assertions::
@@ -61,6 +65,7 @@ GATED_BENCHMARKS = (
     "benchmarks/bench_subscriptions.py",
     "benchmarks/bench_reshard.py",
     "benchmarks/bench_storage.py",
+    "benchmarks/bench_aggregates.py",
 )
 
 TRAJECTORY_FILE = REPO_ROOT / "BENCH_trajectory.json"

@@ -45,6 +45,14 @@ differential run reshards its sharded runners at a second
 case-deterministic checkpoint, and the ``reshard-equivalence`` metamorphic
 property asserts reshard(k′) == fresh-fleet-at-k′ (order included, held
 snapshots preserved) over the shard-count cycle {1, 2, 4, 7}.
+
+Ring aggregates are fuzzed from both sides too: every differential
+checkpoint diffs maintained, enumerate-and-fold, and snapshot aggregate
+answers (a generic spec set plus each scenario's natural aggregates)
+against the fold over the oracle's enumeration, and the
+``aggregate-equivalence`` metamorphic property asserts aggregate ==
+fold-over-oracle across the case's ε grid, shard counts {1, 2, 4}, a
+mid-stream retune, and both relation-storage backends.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ from repro.conformance import (  # noqa: E402 - sys.path bootstrap above
     Mismatch,
     case_failure,
     crash_recovery_failure,
+    check_aggregate_equivalence,
     check_batch_permutation_invariance,
     check_insert_delete_noop,
     check_partition_union,
@@ -93,6 +102,7 @@ METAMORPHIC_PROPERTIES = (
     "snapshot-isolation",
     "retune-equivalence",
     "reshard-equivalence",
+    "aggregate-equivalence",
 )
 
 RETUNE_TARGETS = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -135,7 +145,12 @@ def _scenario_case(rng: random.Random) -> ConformanceCase:
     database = scenario.make_database(rng.randrange(1 << 16), 0.05)
     stream = scenario.make_stream(database, rng.randint(20, 60), rng.randrange(1 << 16))
     return ConformanceCase.build(
-        scenario.query, database, stream, epsilons=(0.5,), checkpoints=2
+        scenario.query,
+        database,
+        stream,
+        epsilons=(0.5,),
+        checkpoints=2,
+        aggregates=scenario.aggregates,
     )
 
 
@@ -185,6 +200,14 @@ def metamorphic_failure(case: ConformanceCase, prop: str):
             check_retune_equivalence(case.query, epsilon, target, database, updates)
         elif prop == "reshard-equivalence":
             check_reshard_equivalence(case.query, epsilon, database, updates)
+        elif prop == "aggregate-equivalence":
+            check_aggregate_equivalence(
+                case.query,
+                case.epsilons or (0.5,),
+                database,
+                updates,
+                extra_specs=case.aggregates,
+            )
     except AssertionError as exc:
         return Mismatch(
             engine=f"ivm(eps={epsilon})",

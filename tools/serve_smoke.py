@@ -5,16 +5,20 @@ Boots an :class:`~repro.net.server.EngineTCPServer` on an ephemeral port
 scripted :class:`~repro.net.client.EngineClient` session —
 
 1. handshake (``ping``) and a paged snapshot enumeration,
-2. one subscription,
+2. one plain subscription plus two ring-aggregate subscriptions,
 3. a burst of mixed insert/delete batches applied through the wire,
-4. a point lookup and a ``/metrics`` scrape over plain HTTP —
+4. a one-shot aggregate read, a point lookup, and a ``/metrics`` scrape
+   over plain HTTP —
 
 and checks every served artifact against a
 :class:`~repro.baselines.naive.NaiveRecomputeEngine` oracle: the paged
 snapshot equals the oracle's state at capture, the subscription's pushed
 deltas *replayed from the initial result* reproduce the oracle at every
-version stamp, and the final mirrored state equals the oracle's final
-state.  Exit status 0 on success; any divergence raises.
+version stamp, the final mirrored state equals the oracle's final state,
+and every aggregate answer — the subscriptions' ring-folded mirrors and
+the one-shot read — equals the one true fold
+(:func:`repro.rings.spec.fold_result`) over the oracle's enumeration.
+Exit status 0 on success; any divergence raises.
 
 Wired into ``make serve-smoke`` (and thereby ``make test``/CI)::
 
@@ -36,8 +40,10 @@ from repro.core.serving import EngineServer  # noqa: E402
 from repro.data.database import Database  # noqa: E402
 from repro.data.update import Update  # noqa: E402
 from repro.net import EngineClient, ServerConfig, ServerThread  # noqa: E402
+from repro.rings.spec import AggregateSpec, answer_map, fold_result  # noqa: E402
 
 QUERY = "Q(A, C) = R(A, B), S(B, C)"
+HEAD = ("A", "C")
 DOMAIN = 10
 BATCHES = 30
 BATCH_SIZE = 8
@@ -83,6 +89,24 @@ def scripted_session() -> None:
             initial_version = subscription.version
             initial_result = dict(subscription.result())
             assert initial_result == oracle.result(), "initial result diverged"
+
+            # ring-aggregate subscriptions next to the plain one: the
+            # server folds every commit per spec and pushes aggregate
+            # deltas over the same push contract
+            def agg_oracle(spec: AggregateSpec) -> dict:
+                pairs = list(dict(oracle.result()).items())
+                return answer_map(spec, fold_result(spec, HEAD, pairs))
+
+            sum_spec = AggregateSpec("sum", "C", ("A",))
+            count_spec = AggregateSpec("counting")
+            sum_sub = client.subscribe_aggregate(sum_spec)
+            count_sub = client.subscribe_aggregate(count_spec)
+            assert sum_sub.answers() == agg_oracle(sum_spec), (
+                "initial sum aggregate diverged"
+            )
+            assert count_sub.answers() == agg_oracle(count_spec), (
+                "initial counting aggregate diverged"
+            )
 
             rng = random.Random(77)
             inserted = []
@@ -136,6 +160,32 @@ def scripted_session() -> None:
                 f"match the oracle at every version stamp"
             )
 
+            # the aggregate mirrors, maintained purely from ring-folded
+            # push frames, must land on the fold over the oracle's final
+            # enumeration; a one-shot read checks a ring no subscription
+            # maintains
+            for agg_sub, spec, label in (
+                (sum_sub, sum_spec, "sum"),
+                (count_sub, count_spec, "counting"),
+            ):
+                assert agg_sub.wait_for_version(final_version, timeout=30.0), (
+                    f"{label} aggregate subscription stuck at "
+                    f"{agg_sub.version} < {final_version}"
+                )
+                assert agg_sub.answers() == agg_oracle(spec), (
+                    f"{label} aggregate mirror diverged from the oracle fold"
+                )
+            max_spec = AggregateSpec("max", "C", ("A",))
+            assert client.aggregate(max_spec) == agg_oracle(max_spec), (
+                "one-shot max aggregate diverged from the oracle fold"
+            )
+            sum_sub.close()
+            count_sub.close()
+            print(
+                "serve-smoke: aggregates ok — ring-folded mirrors and the "
+                "one-shot read match the oracle fold"
+            )
+
             # 4. point lookup + metrics over plain HTTP on the same port
             if oracle.result():
                 probe = next(iter(oracle.result()))
@@ -147,6 +197,9 @@ def scripted_session() -> None:
                 "repro_engine_version",
                 "repro_serving_batches_applied",
                 "repro_net_deltas_pushed",
+                "repro_aggregate_reads_total",
+                'repro_net_aggregate_deltas_pushed_total{ring="sum"}',
+                'repro_net_aggregate_deltas_pushed_total{ring="counting"}',
             ):
                 assert needle in text, f"{needle} missing from /metrics"
             stats = client.server_stats()
